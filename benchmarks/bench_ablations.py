@@ -1,0 +1,58 @@
+"""Ablations: policy choice, TXOP limit, AP buffer sizing."""
+
+from repro.experiments import ablations
+
+from .conftest import FULL, run_once
+
+
+def test_policy_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.run_policy_ablation(
+                        quick=not FULL))
+    print()
+    print(ablations.format_rows(rows))
+    by_variant = {r["variant"]: r["goodput_mbps"] for r in rows}
+    assert by_variant["MORE DATA"] > 1.05 * by_variant["stock TCP"]
+    # §3.2: the opportunistic variant does not significantly help.
+    assert by_variant["opportunistic"] < by_variant["MORE DATA"]
+    # Short explicit timers flush constantly, approximating stock.
+    assert by_variant["explicit timer 1ms"] < by_variant["MORE DATA"]
+    # The stall guard must not cost anything when MORE DATA is correct.
+    assert by_variant["MORE DATA + stall guard"] > \
+        0.97 * by_variant["MORE DATA"]
+
+
+def test_txop_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.run_txop_ablation(quick=not FULL))
+    print()
+    print(ablations.format_rows(rows))
+    # §5: with tighter TXOP limits HACK claws back relatively more.
+    gains = [r["improvement_pct"] for r in rows]
+    assert gains[-1] > gains[0]
+
+
+def test_buffer_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.run_buffer_ablation(
+                        quick=not FULL))
+    print()
+    print(ablations.format_rows(rows))
+    by_queue = {r["variant"]: r for r in rows}
+    # Tiny AP queues leave no backlog for MORE DATA: HACK's edge
+    # vanishes (the paper's §5 discussion).
+    assert by_queue["16 pkts"]["improvement_pct"] < \
+        by_queue["126 pkts"]["improvement_pct"]
+
+
+def test_delack_ablation(benchmark):
+    rows = run_once(benchmark,
+                    lambda: ablations.run_delack_ablation(
+                        quick=not FULL))
+    print()
+    print(ablations.format_rows(rows))
+    by_variant = {r["variant"]: r for r in rows}
+    # §2.1 footnote: without delayed ACKs the receiver sends twice as
+    # many ACK packets, so HACK's relative gain widens.
+    assert by_variant["delayed ACKs off"]["improvement_pct"] > \
+        by_variant["delayed ACKs on"]["improvement_pct"]

@@ -1,0 +1,19 @@
+"""§4.2 cross-validation: ideal vs SoRa-delayed LL ACK conditions."""
+
+from repro.experiments import crossval
+
+from .conftest import FULL, run_once
+
+
+def test_crossval(benchmark):
+    rows = run_once(benchmark, lambda: crossval.run(quick=not FULL))
+    print()
+    print(crossval.format_rows(rows))
+    tcp = next(r for r in rows if r["protocol"] == "TCP/802.11a")
+    hack = next(r for r in rows if r["protocol"] == "TCP/HACK")
+    # Paper: TCP 22.4 (ideal), HACK 28 (ideal); SoRa lower in both.
+    assert 19 < tcp["ideal_mbps"] < 25
+    assert 26 < hack["ideal_mbps"] < 30
+    assert tcp["sora_mbps"] < tcp["ideal_mbps"]
+    assert hack["sora_mbps"] < hack["ideal_mbps"]
+    assert hack["sora_mbps"] > tcp["sora_mbps"]

@@ -1,0 +1,16 @@
+"""Figure 1 (a, b): analytical capacity curves."""
+
+from repro.experiments import fig01
+
+from .conftest import run_once
+
+
+def test_fig01_theory(benchmark):
+    rows = run_once(benchmark, lambda: fig01.run())
+    print()
+    print(fig01.format_rows(rows))
+    # Sanity: the paper's headline checkpoints hold.
+    by_rate = {(r["figure"], r["rate_mbps"]): r for r in rows}
+    assert by_rate[("1b", 150.0)]["improvement_pct"] == \
+        __import__("pytest").approx(7.0, abs=2.0)
+    assert by_rate[("1b", 600.0)]["improvement_pct"] > 14.0

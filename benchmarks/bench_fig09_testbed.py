@@ -1,0 +1,19 @@
+"""Figure 9: SoRa-testbed goodput (UDP / TCP/HACK / stock TCP)."""
+
+from repro.experiments import fig09
+
+from .conftest import FULL, run_once
+
+
+def test_fig09_testbed(benchmark):
+    rows = run_once(benchmark, lambda: fig09.run(quick=not FULL))
+    print()
+    print(fig09.format_rows(rows))
+    one = {r["protocol"]: r for r in rows
+           if r["clients"] == "one client"}
+    # Paper: UDP 26.5, HACK 25.0, TCP 19.4 — ordering and rough
+    # magnitudes must hold.
+    assert one["U"]["goodput_mbps"] > one["H"]["goodput_mbps"] > \
+        one["T"]["goodput_mbps"]
+    assert 24 < one["U"]["goodput_mbps"] < 29
+    assert one["H"]["goodput_mbps"] / one["T"]["goodput_mbps"] > 1.15

@@ -1,0 +1,30 @@
+"""Figure 10: aggregate goodput vs client count, four schemes."""
+
+from repro.experiments import fig10
+
+from .conftest import FULL, run_once
+
+
+def test_fig10_clients(benchmark):
+    rows = run_once(benchmark, lambda: fig10.run(quick=not FULL))
+    print()
+    print(fig10.format_rows(rows))
+    by_key = {(r["clients"], r["scheme"]): r["goodput_mbps"]
+              for r in rows}
+    for n in (1, 2, 4, 10):
+        hack = by_key[(n, "TCP/HACK More Data")]
+        tcp = by_key[(n, "TCP/802.11")]
+        udp = by_key[(n, "UDP")]
+        # Paper Fig 10 ordering: UDP >= HACK-MoreData > stock TCP;
+        # MORE DATA gains 15-22%.
+        assert hack > 1.05 * tcp, f"{n} clients"
+        assert udp > 0.95 * hack, f"{n} clients"
+    # Opportunistic HACK "does not significantly outperform" stock.
+    for n in (1, 2, 4, 10):
+        opp = by_key[(n, "TCP/Opp. HACK")]
+        hack = by_key[(n, "TCP/HACK More Data")]
+        assert opp < hack
+    # AIFS-fit footnote (paper: 98.5%).
+    fits = [r["hack_fit_fraction"] for r in rows
+            if r["hack_fit_fraction"] is not None]
+    assert min(fits) > 0.9

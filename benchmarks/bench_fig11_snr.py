@@ -1,0 +1,31 @@
+"""Figure 11: goodput envelope vs SNR; mean HACK improvement."""
+
+import statistics
+
+from repro.experiments import fig11
+
+from .conftest import FULL, run_once
+
+
+def test_fig11_snr(benchmark):
+    if FULL:
+        rows = run_once(benchmark, lambda: fig11.run(quick=False))
+    else:
+        # Bounded but complete series: six rates, five SNR points.
+        rows = run_once(benchmark, lambda: fig11.run(
+            quick=True, snrs=(6.0, 12.0, 18.0, 24.0, 30.0),
+            rates=(15.0, 30.0, 60.0, 90.0, 120.0, 150.0)))
+    print()
+    print(fig11.format_rows(rows))
+    # Envelope is monotone in SNR; HACK never loses; no CRC failures.
+    envs = [r["hack_envelope_mbps"] for r in rows]
+    assert envs == sorted(envs)
+    for row in rows:
+        assert row["hack_envelope_mbps"] >= \
+            0.98 * row["tcp_envelope_mbps"]
+        assert row["crc_failures"] == 0
+    usable = [r["improvement_pct"] for r in rows
+              if r["tcp_envelope_mbps"] > 5.0]
+    mean_improvement = statistics.fmean(usable)
+    # Paper: 12.6% average improvement across the SNR range.
+    assert 8.0 < mean_improvement < 30.0

@@ -1,0 +1,20 @@
+"""Table 1: frames delivered with no retries vs one-or-more retries."""
+
+from repro.experiments import fig09
+
+from .conftest import FULL, run_once
+
+
+def test_table1_retries(benchmark):
+    rows = run_once(benchmark, lambda: fig09.run(quick=not FULL))
+    print()
+    print(fig09.format_rows(rows))
+    retry = {(r["clients"], r["protocol"], r["client"]):
+             r["no_retry_frac"] for r in rows
+             if r["no_retry_frac"] is not None}
+    # Paper: UDP ~99%, HACK ~97-98%, TCP ~86-88% first-attempt.
+    for setup in ("one client", "both clients"):
+        assert retry[(setup, "U", "C1")] > 0.95
+        assert retry[(setup, "H", "C1")] > 0.93
+        assert retry[(setup, "T", "C1")] < 0.92
+        assert retry[(setup, "T", "C1")] < retry[(setup, "H", "C1")]

@@ -1,0 +1,22 @@
+"""Table 2: ACK counts/bytes and the ROHC compression ratio."""
+
+from repro.experiments import table2
+
+from .conftest import FULL, run_once
+
+
+def test_table2_compression(benchmark):
+    rows = run_once(benchmark, lambda: table2.run(quick=not FULL))
+    print()
+    print(table2.format_rows(rows))
+    stock = next(r for r in rows if r["protocol"] == "TCP/802.11a")
+    hack = next(r for r in rows if r["protocol"] == "TCP/HACK")
+    # Stock TCP: one 52-byte ACK per two data packets, none compressed.
+    assert stock["compressed_count"] == 0
+    expected_acks = stock["transfer_bytes"] / 1460 / 2
+    assert 0.8 * expected_acks < stock["ack_count"] < 1.3 * expected_acks
+    assert stock["ack_bytes"] == 52 * stock["ack_count"]
+    # HACK: nearly all ACKs compressed, ratio near the paper's 12x.
+    assert hack["compressed_count"] > 0.9 * expected_acks
+    assert hack["ack_count"] < 0.05 * expected_acks
+    assert 8 < hack["compression_ratio"] < 26

@@ -1,0 +1,21 @@
+"""Table 3: TCP-ACK time overhead breakdown."""
+
+from repro.experiments import table3
+
+from .conftest import FULL, run_once
+
+
+def test_table3_overheads(benchmark):
+    rows = run_once(benchmark, lambda: table3.run(quick=not FULL))
+    print()
+    print(table3.format_rows(rows))
+    stock = next(r for r in rows if r["protocol"] == "TCP/802.11a")
+    hack = next(r for r in rows if r["protocol"] == "TCP/HACK")
+    # Paper's shape: channel acquisition dominates stock TCP's ACK
+    # costs; HACK's only material cost is the (tiny) ROHC airtime.
+    assert stock["channel_acquisition"] > stock["tcp_ack_airtime"]
+    assert stock["ll_ack_overhead"] > 0
+    assert hack["tcp_ack_airtime"] < 0.05 * stock["tcp_ack_airtime"]
+    assert hack["channel_acquisition"] < \
+        0.05 * stock["channel_acquisition"]
+    assert hack["rohc_airtime"] < stock["tcp_ack_airtime"]

@@ -1,0 +1,27 @@
+"""Benchmark harness configuration.
+
+Each benchmark runs one paper table/figure end-to-end (pedantic mode,
+one round — these are system simulations, not microbenchmarks) and
+prints the regenerated table so `pytest benchmarks/ --benchmark-only`
+doubles as the reproduction script.
+
+Set REPRO_BENCH_FULL=1 for the paper-fidelity settings (five seeds,
+long steady-state windows); the default is a faster configuration that
+still regenerates every row/series.
+"""
+
+import os
+
+import pytest
+
+FULL = bool(os.environ.get("REPRO_BENCH_FULL"))
+
+
+@pytest.fixture(scope="session")
+def bench_mode():
+    return {"full": FULL}
+
+
+def run_once(benchmark, fn):
+    """Run `fn` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

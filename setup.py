@@ -1,0 +1,9 @@
+"""Shim for environments without the `wheel` package (offline installs).
+
+Lets ``pip install -e . --no-use-pep517`` work; all real metadata lives
+in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,24 @@
+"""repro: a full reproduction of TCP/HACK (Salameh et al., USENIX ATC'14).
+
+Hierarchical ACKnowledgments carry compressed TCP ACKs inside 802.11
+link-layer ACKs, eliminating medium acquisitions for TCP ACK packets.
+
+Public API tour:
+
+* ``repro.workloads`` — :func:`~repro.workloads.scenarios.run_scenario`
+  runs a complete simulated WLAN from a declarative config.
+* ``repro.core`` — the HACK driver and policies.
+* ``repro.analysis`` — closed-form capacity models (paper Fig 1).
+* ``repro.sim`` / ``repro.mac`` / ``repro.phy`` / ``repro.tcp`` /
+  ``repro.rohc`` — the substrates (event engine, 802.11 MAC, OFDM
+  timing, TCP, header compression).
+"""
+
+from .core import HackConfig, HackPolicy
+from .workloads import LossSpec, ScenarioConfig, ScenarioResult, \
+    run_scenario
+
+__version__ = "1.0.0"
+
+__all__ = ["HackPolicy", "HackConfig", "ScenarioConfig",
+           "ScenarioResult", "LossSpec", "run_scenario", "__version__"]

@@ -1,0 +1,9 @@
+"""Analytical capacity models (paper Fig 1 / Fig 12)."""
+
+from .capacity import CapacityPoint, figure_1a, figure_1b, \
+    hack_goodput_11a, hack_goodput_11n, tcp_goodput_11a, \
+    tcp_goodput_11n
+
+__all__ = ["CapacityPoint", "figure_1a", "figure_1b",
+           "tcp_goodput_11a", "hack_goodput_11a",
+           "tcp_goodput_11n", "hack_goodput_11n"]

@@ -1,0 +1,123 @@
+"""Top-level command-line interface.
+
+Two subcommands::
+
+    python -m repro.cli simulate --phy 11n --rate 150 --clients 4 \\
+        --policy more_data --duration 4 --seed 2
+    python -m repro.cli experiments fig10 fig11 --quick
+
+``simulate`` runs one scenario and prints a human-readable report;
+``experiments`` forwards to :mod:`repro.experiments.runner`.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.policies import HackPolicy
+from .experiments import runner as experiments_runner
+from .sim.units import MS, SEC, usec
+from .workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="TCP/HACK reproduction (USENIX ATC 2014)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sim = sub.add_parser("simulate", help="run one scenario")
+    sim.add_argument("--phy", choices=("11a", "11n"), default="11n")
+    sim.add_argument("--rate", type=float, default=150.0,
+                     help="PHY data rate in Mbps")
+    sim.add_argument("--clients", type=int, default=1)
+    sim.add_argument("--flows-per-client", type=int, default=1)
+    sim.add_argument("--policy",
+                     choices=[p.value for p in HackPolicy],
+                     default="more_data")
+    sim.add_argument("--traffic",
+                     choices=("tcp_download", "tcp_upload",
+                              "udp_download"),
+                     default="tcp_download")
+    sim.add_argument("--duration", type=float, default=4.0,
+                     help="simulated seconds")
+    sim.add_argument("--warmup", type=float, default=None,
+                     help="warm-up seconds (default: duration/2)")
+    sim.add_argument("--seed", type=int, default=1)
+    sim.add_argument("--loss", type=float, default=0.0,
+                     help="uniform per-MPDU loss probability")
+    sim.add_argument("--snr", type=float, default=None,
+                     help="SNR in dB (overrides --loss)")
+    sim.add_argument("--aarf", action="store_true",
+                     help="enable AARF rate adaptation")
+    sim.add_argument("--sora", action="store_true",
+                     help="emulate SoRa's late LL ACKs")
+
+    exp = sub.add_parser("experiments",
+                         help="reproduce paper tables/figures")
+    exp.add_argument("names", nargs="+",
+                     choices=sorted(experiments_runner.EXPERIMENTS)
+                     + ["all"])
+    exp.add_argument("--quick", action="store_true")
+    return parser
+
+
+def _simulate(args: argparse.Namespace) -> int:
+    duration = int(args.duration * SEC)
+    warmup = int(args.warmup * SEC) if args.warmup is not None \
+        else duration // 2
+    if args.snr is not None:
+        loss = LossSpec(kind="snr", snr_db=args.snr)
+    elif args.loss > 0:
+        loss = LossSpec(kind="uniform", data_loss=args.loss)
+    else:
+        loss = LossSpec()
+    config = ScenarioConfig(
+        phy_mode=args.phy, data_rate_mbps=args.rate,
+        n_clients=args.clients,
+        flows_per_client=args.flows_per_client,
+        policy=HackPolicy(args.policy), traffic=args.traffic,
+        duration_ns=duration, warmup_ns=warmup, seed=args.seed,
+        loss=loss,
+        rate_adaptation="aarf" if args.aarf else None,
+        extra_response_delay_ns=usec(37) if args.sora else 0,
+        ack_timeout_extra_ns=usec(60) if args.sora else 0,
+        stagger_ns=50 * MS)
+    result = run_scenario(config)
+    print(f"aggregate goodput : "
+          f"{result.aggregate_goodput_mbps:8.2f} Mbps")
+    for flow_id, goodput in sorted(
+            result.per_flow_goodput_mbps.items()):
+        label = f"flow {flow_id}" if flow_id > 0 else \
+            f"udp sink {-flow_id}"
+        print(f"  {label:<14}: {goodput:8.2f} Mbps")
+    print(f"fairness (Jain)   : {result.fairness_index:8.4f}")
+    print(f"frames / collided : {result.medium_frames_sent} / "
+          f"{result.medium_frames_collided}")
+    print(f"medium utilisation: {result.medium_utilisation:8.2%}")
+    counters = result.decomp_counters
+    if counters["acks_reconstructed"]:
+        print(f"HACK ACKs         : "
+              f"{counters['acks_reconstructed']} reconstructed, "
+              f"{counters['crc_failures']} CRC failures, "
+              f"{counters['duplicates_skipped']} duplicates skipped")
+    timeouts = sum(c["timeouts"]
+                   for c in result.sender_counters.values())
+    print(f"TCP timeouts      : {timeouts}")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "simulate":
+        return _simulate(args)
+    forwarded = list(args.names)
+    if args.quick:
+        forwarded.append("--quick")
+    return experiments_runner.main(forwarded)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,6 @@
+"""TCP/HACK core: the driver state machines and deferral policies."""
+
+from .driver import DriverStats, HackDriver
+from .policies import HackConfig, HackPolicy
+
+__all__ = ["HackDriver", "DriverStats", "HackConfig", "HackPolicy"]

@@ -1,0 +1,406 @@
+"""The TCP/HACK driver — the paper's core contribution (§3).
+
+One :class:`HackDriver` sits between a node's network stack and its
+:class:`~repro.mac.dcf.DcfMac`, at clients and APs alike (the design is
+symmetric).  Responsibilities:
+
+* route outgoing segments: TCP data and non-compressible ACKs go to the
+  normal transmit queue; pure ACKs are compressed and buffered when the
+  active policy says a piggyback opportunity is coming;
+* latch the **MORE DATA** bit from arriving data frames (§3.2);
+* supply serialised compressed-ACK frames to the MAC when it builds an
+  LL ACK / Block ACK (``hack_payload_for``), re-attaching retained
+  entries on *every* response until implicitly confirmed (§3.4);
+* implicit confirmation: a subsequent A-MPDU (batch mode) or a higher
+  MAC sequence number (single-MPDU mode) confirms the previous LL ACK
+  unless the batch carries the **SYNC** bit (Figs 5-8);
+* flush-to-vanilla transitions: when a batch arrives without MORE
+  DATA, retained compressed ACKs get one last ride on that batch's
+  Block ACK and are then discarded — later cumulative ACKs cover them
+  (Fig 7) — with the compressor rebased so a lost last ride cannot
+  desynchronise contexts;
+* decompress HACK payloads arriving on LL ACKs and hand the
+  reconstituted TCP ACKs upstream.
+
+All TCP awareness lives here, never in the MAC — mirroring the paper's
+driver/NIC split (the NIC treats the payload as opaque bytes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from ..mac.dcf import DcfMac, MacUpper
+from ..mac.frames import AmpduFrame, BarFrame, Mpdu
+from ..rohc.compressor import Compressor
+from ..rohc.decompressor import Decompressor
+from ..rohc.packets import CompressedAck, build_frame
+from ..sim.engine import Simulator
+from ..tcp.segment import TcpSegment
+from .policies import HackConfig, HackPolicy
+
+
+@dataclass
+class DriverStats:
+    """Driver-level counters (Table 2 inputs live here)."""
+
+    vanilla_acks_sent: int = 0
+    vanilla_ack_bytes: int = 0
+    hack_frames_attached: int = 0
+    hack_frame_bytes: int = 0
+    entries_confirmed: int = 0
+    sync_events: int = 0
+    unlatch_flushes: int = 0
+    timer_flushes: int = 0
+    stall_guard_flushes: int = 0
+    overflow_flushes: int = 0
+    echo_flushes: int = 0
+    acks_reinjected: int = 0
+
+
+class _PeerState:
+    """Per-peer HACK state (a client has one peer: its AP)."""
+
+    __slots__ = ("more_data_latched", "buffer", "last_seen_seq",
+                 "compressor", "decompressor", "flush_event",
+                 "flush_after_response", "ack_ts_sent", "echo_seen")
+
+    def __init__(self, init_vanilla_acks: int):
+        self.more_data_latched = False
+        self.buffer: List[CompressedAck] = []
+        self.last_seen_seq = -1
+        self.compressor = Compressor(init_threshold=init_vanilla_acks)
+        self.decompressor = Decompressor()
+        self.flush_event = None
+        self.flush_after_response = False
+        # TS_ECHO state: per flow, the ts_val of the newest ACK we sent
+        # and the newest ts_ecr observed on arriving data (§5).
+        self.ack_ts_sent: Dict[int, int] = {}
+        self.echo_seen: Dict[int, int] = {}
+
+
+class HackDriver(MacUpper):
+    """Device driver implementing TCP/HACK over a DcfMac."""
+
+    def __init__(self, sim: Simulator, mac: DcfMac, config: HackConfig,
+                 node: Any = None):
+        self.sim = sim
+        self.mac = mac
+        self.config = config
+        self.node = node
+        self.stats = DriverStats()
+        self._peers: Dict[str, _PeerState] = {}
+        self._attached_count = 0
+        mac.upper = self
+
+    def peer(self, name: str) -> _PeerState:
+        if name not in self._peers:
+            self._peers[name] = _PeerState(self.config.init_vanilla_acks)
+        return self._peers[name]
+
+    # ==================================================================
+    # Outgoing path (from the node's network stack)
+    # ==================================================================
+    def send_packet(self, packet: Any, peer_name: str) -> bool:
+        """Send any packet; pure TCP ACKs take the HACK path."""
+        if isinstance(packet, TcpSegment) and packet.is_pure_ack:
+            if self.config.enabled:
+                return self._send_ack(packet, peer_name)
+            # Stock operation: still account the ACK stream (Table 2).
+            self.stats.vanilla_acks_sent += 1
+            self.stats.vanilla_ack_bytes += packet.byte_length
+        return self.mac.enqueue(packet, peer_name)
+
+    def _send_ack(self, ack: TcpSegment, peer_name: str) -> bool:
+        ps = self.peer(peer_name)
+        policy = self.config.policy
+        if policy is HackPolicy.MORE_DATA:
+            if ps.more_data_latched and ps.compressor.can_compress(ack):
+                self._buffer_compressed(ps, ack, peer_name)
+                return True
+            return self._send_vanilla(ps, ack, peer_name)
+        if policy is HackPolicy.TS_ECHO:
+            defer = (self._echo_outstanding(ps, ack.flow_id)
+                     and ps.compressor.can_compress(ack))
+            ps.ack_ts_sent[ack.flow_id] = max(
+                ps.ack_ts_sent.get(ack.flow_id, 0), ack.ts_val)
+            if defer:
+                self._buffer_compressed(ps, ack, peer_name)
+                return True
+            return self._send_vanilla(ps, ack, peer_name)
+        if policy is HackPolicy.EXPLICIT_TIMER:
+            if ps.compressor.can_compress(ack):
+                self._buffer_compressed(ps, ack, peer_name)
+                self._arm_flush(ps, peer_name,
+                                self.config.flush_after_ns, "timer")
+                return True
+            return self._send_vanilla(ps, ack, peer_name)
+        # OPPORTUNISTIC: queue normally; compression happens when the
+        # MAC asks for a response payload and the ACK is still queued.
+        return self._send_vanilla(ps, ack, peer_name)
+
+    def _send_vanilla(self, ps: _PeerState, ack: TcpSegment,
+                      peer_name: str) -> bool:
+        ps.compressor.note_vanilla_ack(ack)
+        # Tag the ACK with its per-flow vanilla ordinal so the
+        # opportunistic pull can leave context-establishing ACKs in the
+        # queue (the peer's decompressor needs them on the air).
+        context = ps.compressor._context_for(ack, create=False)
+        if context is not None:
+            ack._hack_init_ordinal = context.vanilla_seen
+        self.stats.vanilla_acks_sent += 1
+        self.stats.vanilla_ack_bytes += ack.byte_length
+        return self.mac.enqueue(ack, peer_name)
+
+    def _buffer_compressed(self, ps: _PeerState, ack: TcpSegment,
+                           peer_name: str) -> None:
+        if len(ps.buffer) >= self.config.max_buffered:
+            self.stats.overflow_flushes += 1
+            self._flush_buffer(ps, peer_name)
+        ps.buffer.append(ps.compressor.compress(ack))
+        if self.config.stall_guard_ns is not None:
+            self._arm_flush(ps, peer_name, self.config.stall_guard_ns,
+                            "stall_guard")
+
+    # ------------------------------------------------------------------
+    # Flush-to-vanilla machinery (explicit timer / stall guard / caps)
+    # ------------------------------------------------------------------
+    def _arm_flush(self, ps: _PeerState, peer_name: str,
+                   delay_ns: Optional[int], reason: str) -> None:
+        if delay_ns is None or ps.flush_event is not None:
+            return
+        ps.flush_event = self.sim.schedule(
+            delay_ns, self._flush_fires, ps, peer_name, reason)
+
+    def _flush_fires(self, ps: _PeerState, peer_name: str,
+                     reason: str) -> None:
+        ps.flush_event = None
+        if not ps.buffer:
+            return
+        if reason == "timer":
+            self.stats.timer_flushes += 1
+        else:
+            self.stats.stall_guard_flushes += 1
+        self._flush_buffer(ps, peer_name)
+
+    def _flush_buffer(self, ps: _PeerState, peer_name: str) -> None:
+        """Fall back: resend all buffered ACKs as vanilla TCP ACKs.
+
+        Duplicates at the TCP sender are harmless (cumulative ACKs);
+        the compressor is rebased because the decompressor may have
+        never seen the discarded deltas."""
+        entries, ps.buffer = ps.buffer, []
+        if ps.flush_event is not None:
+            ps.flush_event.cancel()
+            ps.flush_event = None
+        ps.compressor.rebase_all()
+        for entry in entries:
+            if entry.segment is not None:
+                self._send_vanilla(ps, entry.segment, peer_name)
+
+    # ==================================================================
+    # MacUpper: incoming data path
+    # ==================================================================
+    def on_mpdu_delivered(self, mpdu: Mpdu, sender: str) -> None:
+        payload = mpdu.payload
+        if (isinstance(payload, TcpSegment) and payload.is_pure_ack
+                and self.config.enabled):
+            # Snoop vanilla ACKs to establish/refresh decompressor
+            # contexts (the paper's IR-less context initialisation).
+            self.peer(sender).decompressor.note_vanilla_ack(payload)
+        if (self.config.policy is HackPolicy.TS_ECHO
+                and isinstance(payload, TcpSegment)
+                and not payload.is_pure_ack):
+            self._note_echo(self.peer(sender), sender, payload)
+        if self.node is not None:
+            self.node.on_packet_received(payload, sender)
+
+    # ------------------------------------------------------------------
+    # TS_ECHO mechanics (§5)
+    # ------------------------------------------------------------------
+    def _echo_outstanding(self, ps: _PeerState, flow_id: int) -> bool:
+        if flow_id not in ps.ack_ts_sent:
+            return False
+        return ps.echo_seen.get(flow_id, -1) < ps.ack_ts_sent[flow_id]
+
+    def _note_echo(self, ps: _PeerState, peer_name: str,
+                   data: TcpSegment) -> None:
+        flow = data.flow_id
+        if data.ts_ecr > ps.echo_seen.get(flow, -1):
+            ps.echo_seen[flow] = data.ts_ecr
+        if not ps.buffer:
+            return
+        caught_up = all(not self._echo_outstanding(ps, fid)
+                        for fid in ps.ack_ts_sent)
+        if caught_up:
+            # The sender has seen our newest ACK and may go silent:
+            # fall back to vanilla for whatever is still buffered.
+            self.stats.echo_flushes += 1
+            self._flush_buffer(ps, peer_name)
+
+    def on_data_ppdu(self, frame: Any, sender: str,
+                     readable_mpdus: List[Mpdu]) -> None:
+        if not self.config.enabled:
+            return
+        ps = self.peer(sender)
+        is_batch = isinstance(frame, AmpduFrame)
+        sync = any(m.sync for m in readable_mpdus)
+        more = any(m.more_data for m in readable_mpdus)
+        max_seq = max(m.seq for m in readable_mpdus)
+
+        # --- Implicit confirmation of our previous LL ACK (§3.4) ---
+        if is_batch:
+            new_arrival = True  # any A-MPDU implies our Block ACK landed
+        else:
+            new_arrival = max_seq > ps.last_seen_seq
+        ps.last_seen_seq = max(ps.last_seen_seq, max_seq)
+        if sync:
+            # AP gave up soliciting our Block ACK and moved on: retain
+            # everything and re-attach on the next response (Fig 8).
+            self.stats.sync_events += 1
+        elif new_arrival:
+            confirmed = [e for e in ps.buffer if e.sent_once]
+            if confirmed:
+                ps.buffer = [e for e in ps.buffer if not e.sent_once]
+                self.stats.entries_confirmed += len(confirmed)
+
+        # --- MORE DATA latch (§3.2) ---
+        # TS_ECHO deliberately ignores the bit: it is the AP-free
+        # alternative (§5); its lifecycle is driven by echoes.
+        if self.config.policy is not HackPolicy.TS_ECHO:
+            ps.more_data_latched = more
+            if not more:
+                # Retained ACKs get one last ride on this batch's
+                # response, then we transition to vanilla ACKs
+                # (Figs 2 and 7).
+                ps.flush_after_response = True
+
+    # ==================================================================
+    # MacUpper: LL ACK augmentation / reception
+    # ==================================================================
+    def hack_payload_for(self, peer_name: str) -> Optional[bytes]:
+        if not self.config.enabled:
+            return None
+        ps = self.peer(peer_name)
+        if self.config.policy is HackPolicy.OPPORTUNISTIC:
+            self._pull_queued_acks(ps, peer_name)
+        if not ps.buffer:
+            return None
+        entries = ps.buffer
+        if self.config.split_to_aifs:
+            entries = entries[:self._aifs_prefix_len(ps)]
+        self._attached_count = len(entries)
+        return build_frame(entries)
+
+    def _aifs_prefix_len(self, ps: _PeerState) -> int:
+        """Longest buffer prefix whose appended airtime fits in AIFS.
+
+        At least one entry is always included (an entry cannot be
+        split; the paper's fallback is to risk the long LL ACK)."""
+        phy = getattr(self.mac, "phy", None)
+        params = getattr(self.mac, "params", None)
+        if phy is None or params is None:
+            return len(ps.buffer)
+        from ..mac.params import ACK_BYTES, BLOCK_ACK_BYTES
+        rate = phy.control_rate_for(params.data_rate_mbps)
+        stock = BLOCK_ACK_BYTES if params.aggregation else ACK_BYTES
+        base = phy.control_duration_ns(stock, rate)
+        size = 2  # frame header (count + first MSN)
+        best = 0
+        for index, entry in enumerate(ps.buffer):
+            size += len(entry.data)
+            extra = phy.control_duration_ns(stock + size, rate) - base
+            if extra <= phy.difs_ns:
+                best = index + 1
+            else:
+                break
+        return max(best, 1)
+
+    def _pull_queued_acks(self, ps: _PeerState, peer_name: str) -> None:
+        """Opportunistic HACK: yank still-queued compressible pure ACKs
+        out of the MAC transmit queue and compress them now."""
+        threshold = self.config.init_vanilla_acks
+        pulled = self.mac.remove_from_queue(
+            peer_name,
+            lambda p: (isinstance(p, TcpSegment) and p.is_pure_ack
+                       and ps.compressor.can_compress(p)
+                       and getattr(p, "_hack_init_ordinal", 0)
+                       > threshold))
+        for ack in pulled:
+            # They were counted as vanilla at enqueue; undo.
+            self.stats.vanilla_acks_sent -= 1
+            self.stats.vanilla_ack_bytes -= ack.byte_length
+            if len(ps.buffer) >= self.config.max_buffered:
+                self.stats.overflow_flushes += 1
+                self._flush_buffer(ps, peer_name)
+            ps.buffer.append(ps.compressor.compress(ack))
+
+    def on_ll_response_tx(self, peer_name: str, response: Any,
+                          hack_payload: Optional[bytes]) -> None:
+        if not self.config.enabled:
+            return
+        ps = self.peer(peer_name)
+        if hack_payload:
+            self.stats.hack_frames_attached += 1
+            self.stats.hack_frame_bytes += len(hack_payload)
+            attached = self._attached_count or len(ps.buffer)
+            for entry in ps.buffer[:attached]:
+                entry.sent_once = True
+        if ps.flush_after_response:
+            ps.flush_after_response = False
+            if ps.buffer:
+                # Fire-and-forget: the entries rode this response; if
+                # it is lost, later (higher) cumulative vanilla ACKs
+                # cover the gap (Fig 7).  Rebase so delta references
+                # cannot dangle.
+                self.stats.unlatch_flushes += 1
+                ps.buffer = []
+                ps.compressor.rebase_all()
+
+    def on_ll_ack_rx(self, frame: Any, sender: str) -> None:
+        payload = getattr(frame, "hack_payload", None)
+        if not payload or not self.config.enabled:
+            return
+        ps = self.peer(sender)
+        segments = ps.decompressor.decompress_frame(payload)
+        self.stats.acks_reinjected += len(segments)
+        if self.node is not None:
+            for segment in segments:
+                self.node.on_packet_received(segment, sender)
+
+    def on_bar_rx(self, bar: BarFrame, sender: str) -> None:
+        # A BAR means the peer lacks our Block ACK: retention already
+        # guarantees the compressed ACKs ride the re-sent Block ACK.
+        return
+
+    def on_mpdu_outcome(self, mpdu: Mpdu, delivered: bool) -> None:
+        if self.node is not None:
+            handler = getattr(self.node, "on_mpdu_outcome", None)
+            if handler is not None:
+                handler(mpdu, delivered)
+
+    # ------------------------------------------------------------------
+    @property
+    def compressed_acks(self) -> int:
+        return sum(p.compressor.compressed_count
+                   for p in self._peers.values())
+
+    @property
+    def compressed_bytes(self) -> int:
+        return sum(p.compressor.compressed_bytes
+                   for p in self._peers.values())
+
+    def decompressor_counters(self) -> Dict[str, int]:
+        totals = {"acks_reconstructed": 0, "crc_failures": 0,
+                  "unknown_cid": 0, "duplicates_skipped": 0,
+                  "damaged_skips": 0, "parse_errors": 0}
+        for ps in self._peers.values():
+            d = ps.decompressor
+            totals["acks_reconstructed"] += d.acks_reconstructed
+            totals["crc_failures"] += d.crc_failures
+            totals["unknown_cid"] += d.unknown_cid
+            totals["duplicates_skipped"] += d.duplicates_skipped
+            totals["damaged_skips"] += d.damaged_skips
+            totals["parse_errors"] += d.parse_errors
+        return totals

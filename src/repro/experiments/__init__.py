@@ -1,0 +1,1 @@
+"""Experiment harnesses: one module per paper table/figure."""

@@ -1,0 +1,143 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+1. **Policy ablation** (§3.2's three designs): MORE DATA vs
+   opportunistic vs explicit timers at several timeout values vs stock.
+   The paper argues no good explicit-timer value exists; the sweep
+   shows why (short timers flush constantly, long timers stall flows).
+2. **TXOP ablation** (§5): with a tighter transmit-opportunity limit,
+   batches shrink and per-batch overhead grows; TCP/HACK "claws back
+   some of the efficiency loss", so its relative gain increases.
+3. **AP buffer ablation** (§4.3's queue-sizing discussion): HACK needs
+   enough buffering for the MORE DATA bit to be set; tiny queues starve
+   both schemes, large ones add loss-free latency only.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List
+
+from ..core.policies import HackPolicy
+from ..sim.units import msec, usec
+from ..workloads.scenarios import ScenarioConfig, run_scenario
+from .common import format_table, seeds_for, steady_state_durations
+
+
+def _base(quick: bool, seed: int, **kw) -> ScenarioConfig:
+    durations = steady_state_durations(quick)
+    defaults = dict(phy_mode="11n", data_rate_mbps=150.0, n_clients=1,
+                    traffic="tcp_download", seed=seed, stagger_ns=0,
+                    **durations)
+    defaults.update(kw)
+    return ScenarioConfig(**defaults)
+
+
+def _mean_goodput(quick: bool, **kw) -> float:
+    return statistics.fmean(
+        run_scenario(_base(quick, seed, **kw)).aggregate_goodput_mbps
+        for seed in seeds_for(quick))
+
+
+def run_policy_ablation(quick: bool = False) -> List[Dict]:
+    rows: List[Dict] = []
+    variants = [
+        ("stock TCP", dict(policy=HackPolicy.VANILLA)),
+        ("opportunistic", dict(policy=HackPolicy.OPPORTUNISTIC)),
+        ("explicit timer 1ms",
+         dict(policy=HackPolicy.EXPLICIT_TIMER,
+              explicit_timer_ns=msec(1))),
+        ("explicit timer 5ms",
+         dict(policy=HackPolicy.EXPLICIT_TIMER,
+              explicit_timer_ns=msec(5))),
+        ("explicit timer 50ms",
+         dict(policy=HackPolicy.EXPLICIT_TIMER,
+              explicit_timer_ns=msec(50))),
+        ("MORE DATA", dict(policy=HackPolicy.MORE_DATA)),
+        ("MORE DATA + stall guard",
+         dict(policy=HackPolicy.MORE_DATA, stall_guard_ns=msec(100))),
+        ("TS_ECHO (§5 future work)",
+         dict(policy=HackPolicy.TS_ECHO)),
+    ]
+    for label, kw in variants:
+        rows.append({"ablation": "policy", "variant": label,
+                     "goodput_mbps": _mean_goodput(quick, **kw)})
+    return rows
+
+
+def run_txop_ablation(quick: bool = False) -> List[Dict]:
+    rows: List[Dict] = []
+    for label, txop in (("4 ms (default)", msec(4)),
+                        ("2 ms", msec(2)),
+                        ("1 ms", msec(1)),
+                        ("0.5 ms", usec(500))):
+        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
+                            txop_limit_ns=txop)
+        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
+                             txop_limit_ns=txop)
+        rows.append({"ablation": "txop", "variant": label,
+                     "tcp_mbps": tcp, "hack_mbps": hack,
+                     "improvement_pct": 100 * (hack / tcp - 1)})
+    return rows
+
+
+def run_delack_ablation(quick: bool = False) -> List[Dict]:
+    """§2.1 footnote: delayed ACKs are the *best case* for stock WiFi
+    ("were delayed ACK not used, a TCP receiver would generate twice
+    as many ACK packets, and the WiFi MAC would incur significantly
+    more medium acquisitions") — so disabling them should widen
+    HACK's advantage."""
+    rows: List[Dict] = []
+    for label, delack in (("delayed ACKs on", True),
+                          ("delayed ACKs off", False)):
+        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
+                            delayed_ack=delack)
+        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
+                             delayed_ack=delack)
+        rows.append({"ablation": "delack", "variant": label,
+                     "tcp_mbps": tcp, "hack_mbps": hack,
+                     "improvement_pct": 100 * (hack / tcp - 1)})
+    return rows
+
+
+def run_buffer_ablation(quick: bool = False) -> List[Dict]:
+    rows: List[Dict] = []
+    for queue in (16, 42, 126, 378):
+        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
+                            ap_queue_per_client=queue)
+        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
+                             ap_queue_per_client=queue)
+        rows.append({"ablation": "buffer", "variant": f"{queue} pkts",
+                     "tcp_mbps": tcp, "hack_mbps": hack,
+                     "improvement_pct": 100 * (hack / tcp - 1)})
+    return rows
+
+
+def run(quick: bool = False) -> List[Dict]:
+    return (run_policy_ablation(quick) + run_txop_ablation(quick)
+            + run_buffer_ablation(quick) + run_delack_ablation(quick))
+
+
+def format_rows(rows: List[Dict]) -> str:
+    out = []
+    policy = [r for r in rows if r["ablation"] == "policy"]
+    if policy:
+        out.append(format_table(
+            ["variant", "goodput (Mbps)"],
+            [[r["variant"], f"{r['goodput_mbps']:.1f}"] for r in policy],
+            title="Ablation: ACK-deferral policy (§3.2)"))
+    for key, title in (("txop", "Ablation: TXOP limit (§5)"),
+                       ("buffer", "Ablation: AP queue per client"),
+                       ("delack", "Ablation: delayed ACKs (§2.1)")):
+        subset = [r for r in rows if r["ablation"] == key]
+        if subset:
+            out.append(format_table(
+                ["variant", "TCP (Mbps)", "HACK (Mbps)", "gain"],
+                [[r["variant"], f"{r['tcp_mbps']:.1f}",
+                  f"{r['hack_mbps']:.1f}",
+                  f"{r['improvement_pct']:+.1f}%"] for r in subset],
+                title=title))
+    return "\n\n".join(out)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(format_rows(run(quick=True)))

@@ -1,0 +1,63 @@
+"""Shared helpers for experiment harnesses.
+
+Every experiment module exposes ``run(quick=False)`` returning a list
+of row dicts, plus ``format_rows(rows)`` producing the paper-style
+table as text.  ``quick=True`` shrinks durations/seeds so the whole
+suite stays runnable in CI; the benchmark harness uses the default
+(full) settings.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Callable, Dict, Iterable, List, Sequence
+
+from ..sim.units import MS, SEC
+from ..workloads.scenarios import ScenarioConfig, ScenarioResult, \
+    run_scenario
+
+#: Seeds used for "averaged across five runs" experiments (paper §4).
+FULL_SEEDS = (1, 2, 3, 4, 5)
+QUICK_SEEDS = (1,)
+
+
+def seeds_for(quick: bool) -> Sequence[int]:
+    return QUICK_SEEDS if quick else FULL_SEEDS
+
+
+def steady_state_durations(quick: bool) -> Dict[str, int]:
+    """duration/warmup for steady-state goodput measurements."""
+    if quick:
+        return {"duration_ns": 1500 * MS, "warmup_ns": 700 * MS}
+    return {"duration_ns": 4 * SEC, "warmup_ns": 2 * SEC}
+
+
+def averaged(configs: Iterable[ScenarioConfig],
+             metric: Callable[[ScenarioResult], float]
+             ) -> Dict[str, float]:
+    """Run per-seed configs, return mean/stdev of a scalar metric."""
+    values = [metric(run_scenario(cfg)) for cfg in configs]
+    return {
+        "mean": statistics.fmean(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+        "runs": len(values),
+    }
+
+
+def format_table(headers: List[str], rows: List[List[str]],
+                 title: str = "") -> str:
+    """Fixed-width text table (what the bench harness prints)."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(str(cell)))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i])
+                           for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rows:
+        lines.append("  ".join(str(c).ljust(widths[i])
+                               for i, c in enumerate(row)))
+    return "\n".join(lines)

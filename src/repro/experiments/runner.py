@@ -1,0 +1,58 @@
+"""Command-line entry point for the experiment suite.
+
+Usage::
+
+    python -m repro.experiments.runner fig01 fig09 --quick
+    python -m repro.experiments.runner all
+
+Each experiment prints the corresponding paper table/figure as text.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from . import ablations, crossval, fig01, fig09, fig10, fig11, fig12, \
+    table2, table3
+
+EXPERIMENTS = {
+    "fig01": fig01,
+    "fig09": fig09,      # also produces Table 1
+    "table2": table2,
+    "table3": table3,
+    "crossval": crossval,
+    "fig10": fig10,
+    "fig11": fig11,
+    "fig12": fig12,
+    "ablations": ablations,
+}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Reproduce the tables and figures of "
+                    "'HACK: Hierarchical ACKs for Efficient Wireless "
+                    "Medium Utilization' (USENIX ATC 2014).")
+    parser.add_argument("experiments", nargs="+",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which experiments to run")
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter runs, single seed")
+    args = parser.parse_args(argv)
+
+    names = sorted(EXPERIMENTS) if "all" in args.experiments else \
+        args.experiments
+    for name in names:
+        module = EXPERIMENTS[name]
+        started = time.time()
+        rows = module.run(quick=args.quick)
+        elapsed = time.time() - started
+        print(module.format_rows(rows))
+        print(f"[{name}: {len(rows)} rows in {elapsed:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

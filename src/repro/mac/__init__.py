@@ -1,0 +1,20 @@
+"""802.11 MAC: DCF/EDCA, frames, aggregation, Block ACK protocol."""
+
+from .aggregation import build_batch, max_mpdus_for_txop
+from .blockack import BLOCK_ACK_WINDOW, BlockAckOriginator, \
+    BlockAckRecipient
+from .dcf import DcfMac, MacUpper
+from .frames import AckFrame, AmpduFrame, BarFrame, BlockAckFrame, \
+    DataFrame, Mpdu
+from .params import ACK_BYTES, AMPDU_MAX_BYTES, AMPDU_MAX_MPDUS, \
+    BAR_BYTES, BLOCK_ACK_BYTES, MAC_DATA_OVERHEAD, MacParams, \
+    mpdu_subframe_bytes
+
+__all__ = [
+    "DcfMac", "MacUpper", "MacParams", "Mpdu", "DataFrame", "AmpduFrame",
+    "AckFrame", "BlockAckFrame", "BarFrame", "BlockAckOriginator",
+    "BlockAckRecipient", "BLOCK_ACK_WINDOW", "build_batch",
+    "max_mpdus_for_txop", "MAC_DATA_OVERHEAD", "ACK_BYTES",
+    "BLOCK_ACK_BYTES", "BAR_BYTES", "AMPDU_MAX_BYTES", "AMPDU_MAX_MPDUS",
+    "mpdu_subframe_bytes",
+]

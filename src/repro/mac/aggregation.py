@@ -1,0 +1,101 @@
+"""A-MPDU batch construction.
+
+A batch is bounded by four limits, all from 802.11n / the paper:
+
+* 65 535-byte maximum A-MPDU length (the "64 KByte A-MPDU bound"),
+* 64 MPDUs (the Block ACK window),
+* the EDCA TXOP airtime limit (4 ms in the paper's experiments, which
+  caps batch size at the lower PHY rates — Fig 11's observation), and
+* the originator window: no MPDU with seq >= window_start + 64 may be
+  sent while older MPDUs are unresolved.
+
+Retried MPDUs (lowest sequence numbers) are always placed first.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Deque, List
+
+from ..phy.params import PhyParams
+from .blockack import BlockAckOriginator
+from .frames import Mpdu
+from .params import MacParams, mpdu_subframe_bytes
+
+
+def build_batch(originator: BlockAckOriginator,
+                new_queue: Deque,
+                make_mpdu: Callable[[object, int], Mpdu],
+                params: MacParams,
+                phy: PhyParams,
+                rate_mbps: float) -> List[Mpdu]:
+    """Drain retries + fresh payloads into one A-MPDU worth of MPDUs.
+
+    ``new_queue`` holds higher-layer payloads not yet assigned MPDUs;
+    ``make_mpdu(payload, seq)`` wraps one into an MPDU.  The queue is
+    consumed only for payloads that fit this batch.
+    """
+    batch: List[Mpdu] = []
+    total_bytes = 0
+    window_limit = originator.window_limit
+
+    def airtime_ok(extra_bytes: int) -> bool:
+        if params.txop_limit_ns is None:
+            return True
+        duration = phy.frame_duration_ns(total_bytes + extra_bytes,
+                                         rate_mbps)
+        return duration <= params.txop_limit_ns
+
+    # Retries first (they carry the oldest sequence numbers).
+    while originator.retry_queue:
+        mpdu = originator.retry_queue[0]
+        sub = mpdu_subframe_bytes(mpdu.byte_length)
+        if len(batch) >= params.ampdu_max_mpdus:
+            break
+        if total_bytes + sub > params.ampdu_max_bytes:
+            break
+        if not airtime_ok(sub):
+            break
+        originator.retry_queue.pop(0)
+        batch.append(mpdu)
+        total_bytes += sub
+
+    # Then fresh payloads, respecting the originator window.
+    while new_queue:
+        payload = new_queue[0]
+        if originator.next_seq >= window_limit:
+            break
+        if len(batch) >= params.ampdu_max_mpdus:
+            break
+        prospective = Mpdu(src=None, dst=None, seq=originator.next_seq,
+                           payload=payload)
+        sub = mpdu_subframe_bytes(prospective.byte_length)
+        if total_bytes + sub > params.ampdu_max_bytes:
+            break
+        if not airtime_ok(sub):
+            break
+        new_queue.popleft()
+        mpdu = make_mpdu(payload, originator.allocate_seq())
+        batch.append(mpdu)
+        total_bytes += sub
+
+    return batch
+
+
+def max_mpdus_for_txop(mpdu_bytes: int, params: MacParams,
+                       phy: PhyParams, rate_mbps: float) -> int:
+    """How many equal-size MPDUs fit one A-MPDU under all bounds.
+
+    Used by the analytical capacity model (Fig 1) and tests.
+    """
+    sub = mpdu_subframe_bytes(mpdu_bytes)
+    by_bytes = params.ampdu_max_bytes // sub
+    best = min(params.ampdu_max_mpdus, by_bytes)
+    if params.txop_limit_ns is None:
+        return max(1, best)
+    n = best
+    while n > 1:
+        duration = phy.frame_duration_ns(n * sub, rate_mbps)
+        if duration <= params.txop_limit_ns:
+            break
+        n -= 1
+    return max(1, n)

@@ -1,0 +1,683 @@
+"""DCF / EDCA medium-access state machine.
+
+One :class:`DcfMac` instance per station.  Responsibilities:
+
+* carrier sense + DIFS/AIFS deference + slotted binary-exponential
+  backoff (CW doubling on failed exchanges, post-transmission backoff);
+* per-destination transmit queues, round-robin service, drop-tail
+  bounds;
+* 802.11a operation: single MPDUs, ACK after SIFS, per-frame retries;
+* 802.11n operation: A-MPDU batches, Block ACK / BAR exchanges with the
+  originator window, per-MPDU retries, SYNC flag after BAR give-up;
+* the MORE DATA bit, set exactly when more packets for the same
+  destination remain queued after a batch is formed (paper §3.2);
+* response generation (ACK / Block ACK) after SIFS plus an optional
+  device-specific extra delay (the SoRa late-ACK quirk), with HACK
+  payloads obtained from the upper layer at response-build time.
+
+The upper layer (a HACK driver or a plain node) implements
+:class:`MacUpper`; all TCP-awareness lives up there, never here — the
+MAC treats HACK payloads as opaque bytes, matching the paper's design
+goal of NIC simplicity.
+
+Event-ordering subtlety: a station whose backoff expires in the same
+slot as another station's transmission start must still transmit (both
+committed before carrier could be sensed), so busy notifications only
+cancel countdown events scheduled strictly later than "now".
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional
+
+from ..phy.params import PhyParams
+from ..sim.engine import Simulator
+from ..sim.medium import Medium, MediumListener
+from .aggregation import build_batch
+from .blockack import BlockAckOriginator, BlockAckRecipient
+from .frames import AckFrame, AmpduFrame, BarFrame, BlockAckFrame, \
+    DataFrame, Mpdu
+from .params import MacParams
+
+
+class MacUpper:
+    """Upper-layer interface; all methods optional (default no-ops)."""
+
+    def on_mpdu_delivered(self, mpdu: Mpdu, sender: str) -> None:
+        """A new (non-duplicate) data MPDU arrived for this station."""
+
+    def on_data_ppdu(self, frame: Any, sender: str,
+                     readable_mpdus: List[Mpdu]) -> None:
+        """A data PPDU from ``sender`` arrived; ``readable_mpdus`` are
+        the FCS-passing MPDUs (duplicates included).  HACK drivers use
+        this for MORE DATA latching and implicit-confirmation logic."""
+
+    def hack_payload_for(self, peer: str) -> Optional[bytes]:
+        """Compressed TCP ACK bytes to append to an outgoing LL ACK/
+        Block ACK towards ``peer`` (None = stock response)."""
+
+    def on_ll_response_tx(self, peer: str, response: Any,
+                          hack_payload: Optional[bytes]) -> None:
+        """This station just sent ``response`` (possibly augmented)."""
+
+    def on_ll_ack_rx(self, frame: Any, sender: str) -> None:
+        """An LL ACK / Block ACK arrived (AP extracts HACK payloads)."""
+
+    def on_bar_rx(self, bar: BarFrame, sender: str) -> None:
+        """A Block ACK Request arrived from ``sender``."""
+
+    def on_mpdu_outcome(self, mpdu: Mpdu, delivered: bool) -> None:
+        """Sender-side: final fate of a transmitted MPDU."""
+
+
+class _Job:
+    """The MAC's single head-of-line transmission exchange.
+
+    Data jobs are *materialised lazily*: the destination is chosen when
+    the job becomes head-of-line, but the batch contents (and therefore
+    the MORE DATA bit) are drawn from the queue only when the station
+    actually wins the medium — exactly when the paper's AP "forms the
+    batch"."""
+
+    __slots__ = ("kind", "dst", "mpdus", "is_batch", "attempts",
+                 "bar_retries", "ready_at", "stat_kind", "materialized")
+
+    def __init__(self, kind: str, dst: str, is_batch: bool,
+                 ready_at: int):
+        self.kind = kind          # "data" or "bar"
+        self.dst = dst
+        self.mpdus: List[Mpdu] = []
+        self.is_batch = is_batch
+        self.attempts = 0
+        self.bar_retries = 0
+        self.ready_at = ready_at
+        self.stat_kind = "control"
+        self.materialized = kind == "bar"
+
+
+def _payload_kind(mpdu: Mpdu) -> str:
+    return getattr(mpdu.payload, "kind", "data")
+
+
+class DcfMac(MediumListener):
+    """802.11 DCF/EDCA MAC for one station."""
+
+    def __init__(self, sim: Simulator, medium: Medium, phy: PhyParams,
+                 address: str, params: MacParams, rng,
+                 upper: Optional[MacUpper] = None, stats=None,
+                 loss_model=None, rate_control_factory=None):
+        self.sim = sim
+        self.medium = medium
+        self.phy = phy
+        self.address = address
+        self.params = params
+        self.rng = rng
+        self.upper = upper if upper is not None else MacUpper()
+        self.stats = stats
+        self.loss_model = loss_model
+        #: Per-destination transmit-rate policy (FixedRate by default).
+        self.rate_control_factory = rate_control_factory
+        self._rate_controllers: Dict[str, Any] = {}
+        medium.attach(self)
+
+        # Transmit-side state
+        self._queues: Dict[str, Deque] = {}
+        self._dest_order: List[str] = []
+        self._rr_index = 0
+        self._originators: Dict[str, BlockAckOriginator] = {}
+        self._recipients: Dict[str, BlockAckRecipient] = {}
+        self._sync_pending: Dict[str, bool] = {}
+        self._pending_bars: Deque[str] = deque()
+
+        # Contention state
+        self._cw = phy.cw_min
+        self._backoff_slots: Optional[int] = None
+        self._defer_event = None
+        self._slot_event = None
+        self._idle_since = 0
+        self._use_eifs = False
+
+        # Exchange state
+        self._current_job: Optional[_Job] = None
+        self._transmitting = False
+        self._awaiting_response = False
+        self._response_timeout_event = None
+
+        # Counters (always kept; richer accounting lives in stats)
+        self.enqueued = 0
+        self.queue_drops = 0
+        self.mpdus_delivered = 0
+        self.mpdus_dropped = 0
+
+    # ==================================================================
+    # Upper-layer API
+    # ==================================================================
+    def enqueue(self, payload: Any, dst: str) -> bool:
+        """Queue a higher-layer packet for ``dst``.  False on tail drop."""
+        queue = self._queue_for(dst)
+        if (self.params.queue_limit is not None
+                and len(queue) >= self.params.queue_limit):
+            self.queue_drops += 1
+            return False
+        queue.append(payload)
+        self.enqueued += 1
+        self._maybe_start_contention()
+        return True
+
+    def queue_depth(self, dst: str) -> int:
+        """Fresh packets queued for ``dst`` (excluding MAC retries)."""
+        return len(self._queues.get(dst, ()))
+
+    def backlog(self, dst: str) -> int:
+        """Fresh + retry packets pending for ``dst``."""
+        extra = 0
+        if dst in self._originators:
+            orig = self._originators[dst]
+            extra = len(orig.retry_queue) + len(orig.in_flight)
+        return self.queue_depth(dst) + extra
+
+    def remove_from_queue(self, dst: str, predicate) -> List[Any]:
+        """Withdraw queued (not yet MPDU-wrapped) payloads matching
+        ``predicate``.  Used by the opportunistic HACK policy to yank
+        vanilla TCP ACKs that can ride a Block ACK instead."""
+        queue = self._queues.get(dst)
+        if not queue:
+            return []
+        kept, removed = deque(), []
+        for item in queue:
+            (removed if predicate(item) else kept).append(item)
+        self._queues[dst] = kept
+        return removed
+
+    def _queue_for(self, dst: str) -> Deque:
+        if dst not in self._queues:
+            self._queues[dst] = deque()
+            self._dest_order.append(dst)
+        return self._queues[dst]
+
+    def _originator_for(self, dst: str) -> BlockAckOriginator:
+        if dst not in self._originators:
+            self._originators[dst] = BlockAckOriginator(
+                retry_limit=self.params.retry_limit)
+        return self._originators[dst]
+
+    def _recipient_for(self, src: str) -> BlockAckRecipient:
+        if src not in self._recipients:
+            self._recipients[src] = BlockAckRecipient()
+        return self._recipients[src]
+
+    def rate_controller_for(self, dst: str):
+        if dst not in self._rate_controllers:
+            if self.rate_control_factory is not None:
+                self._rate_controllers[dst] = self.rate_control_factory()
+            else:
+                from .rate_control import FixedRate
+                self._rate_controllers[dst] = FixedRate(
+                    self.params.data_rate_mbps)
+        return self._rate_controllers[dst]
+
+    def _rate_for(self, dst: str) -> float:
+        return self.rate_controller_for(dst).current_rate()
+
+    # ==================================================================
+    # Contention
+    # ==================================================================
+    def _has_work(self) -> bool:
+        if self._pending_bars:
+            return True
+        for dst in self._dest_order:
+            if self._queues[dst]:
+                return True
+            orig = self._originators.get(dst)
+            if orig is not None and orig.retry_queue:
+                return True
+        return False
+
+    def _maybe_start_contention(self) -> None:
+        if self._transmitting or self._awaiting_response:
+            return
+        if self._current_job is None and self._has_work():
+            self._build_job()
+        if self._current_job is None and self._backoff_slots is None:
+            return
+        if self.medium.busy:
+            return
+        if self._defer_event is not None or self._slot_event is not None:
+            return
+        ifs = self.phy.eifs_ns if self._use_eifs else self.phy.difs_ns
+        elapsed = self.sim.now - self._idle_since
+        remaining = max(0, ifs - elapsed)
+        self._defer_event = self.sim.schedule(remaining, self._defer_done)
+
+    def _defer_done(self) -> None:
+        self._defer_event = None
+        if self._backoff_slots is None or self._backoff_slots == 0:
+            # Committing to transmit at this instant is legitimate even
+            # if another station commits at the same timestamp (neither
+            # could have carrier-sensed the other yet) — that is the
+            # same-slot collision case.
+            self._backoff_slots = None
+            if self._current_job is not None:
+                self._transmit_job()
+            return
+        if self.medium.busy:
+            # The medium became busy at this very instant; freeze the
+            # countdown (it resumes after the next idle + IFS).
+            return
+        self._slot_event = self.sim.schedule(self.phy.slot_ns,
+                                             self._slot_tick)
+
+    def _slot_tick(self) -> None:
+        self._slot_event = None
+        assert self._backoff_slots is not None and self._backoff_slots > 0
+        self._backoff_slots -= 1
+        if self._backoff_slots == 0:
+            self._backoff_slots = None
+            if self._current_job is not None:
+                self._transmit_job()
+            return
+        if self.medium.busy:
+            # Busy began exactly at this slot boundary: freeze here.
+            return
+        self._slot_event = self.sim.schedule(self.phy.slot_ns,
+                                             self._slot_tick)
+
+    def _draw_backoff(self) -> None:
+        self._backoff_slots = self.rng.randint(0, self._cw)
+
+    def _double_cw(self) -> None:
+        self._cw = min(2 * (self._cw + 1) - 1, self.phy.cw_max)
+
+    def _reset_cw(self) -> None:
+        self._cw = self.phy.cw_min
+
+    def _cancel_countdown(self, now: int) -> None:
+        # Events firing exactly "now" are same-slot commitments: let
+        # them run (this is what produces realistic same-slot
+        # collisions between desynchronised-but-unlucky stations).
+        if self._defer_event is not None:
+            if self._defer_event.time > now:
+                self._defer_event.cancel()
+                self._defer_event = None
+        if self._slot_event is not None:
+            if self._slot_event.time > now:
+                self._slot_event.cancel()
+                self._slot_event = None
+
+    # ==================================================================
+    # Job construction
+    # ==================================================================
+    def _build_job(self) -> None:
+        now = self.sim.now
+        if self._pending_bars:
+            dst = self._pending_bars.popleft()
+            self._current_job = _Job("bar", dst, is_batch=True,
+                                     ready_at=now)
+            return
+        n = len(self._dest_order)
+        for offset in range(n):
+            dst = self._dest_order[(self._rr_index + offset) % n]
+            queue = self._queues[dst]
+            orig = self._originators.get(dst)
+            has_retry = orig is not None and bool(orig.retry_queue)
+            if not queue and not has_retry:
+                continue
+            self._rr_index = (self._rr_index + offset + 1) % n
+            self._current_job = _Job(
+                "data", dst, is_batch=self.params.aggregation,
+                ready_at=now)
+            return
+
+    def _materialize_job(self, job: _Job) -> bool:
+        """Draw the batch from the queue at transmission-grant time.
+
+        Returns False if the queue was drained in the meantime (e.g.
+        the opportunistic HACK policy withdrew the packets)."""
+        now = self.sim.now
+        dst = job.dst
+        orig = self._originator_for(dst)
+        queue = self._queue_for(dst)
+        if job.is_batch:
+            def make_mpdu(payload: Any, seq: int) -> Mpdu:
+                return Mpdu(src=self.address, dst=dst, seq=seq,
+                            payload=payload, enqueued_at=now)
+
+            batch = build_batch(orig, queue, make_mpdu, self.params,
+                                self.phy, self._rate_for(dst))
+            if not batch:
+                return False
+            more = bool(queue) or bool(orig.retry_queue)
+            sync = self._sync_pending.pop(dst, False)
+            for mpdu in batch:
+                mpdu.more_data = more
+                mpdu.sync = sync
+            orig.mark_in_flight(batch)
+            job.mpdus = batch
+        else:
+            if orig.retry_queue:
+                mpdu = orig.retry_queue.pop(0)
+            elif queue:
+                payload = queue.popleft()
+                mpdu = Mpdu(src=self.address, dst=dst,
+                            seq=orig.allocate_seq(), payload=payload,
+                            enqueued_at=now)
+            else:
+                return False
+            mpdu.more_data = bool(queue) or bool(orig.retry_queue)
+            mpdu.sync = self._sync_pending.pop(dst, False)
+            job.mpdus = [mpdu]
+        job.stat_kind = _payload_kind(job.mpdus[0])
+        job.materialized = True
+        return True
+
+    # ==================================================================
+    # Transmission
+    # ==================================================================
+    def _transmit_job(self) -> None:
+        job = self._current_job
+        assert job is not None
+        if not job.materialized and not self._materialize_job(job):
+            # The queued work vanished (withdrawn by the driver); drop
+            # the job without consuming the backoff-completed state.
+            self._current_job = None
+            self._maybe_start_contention()
+            return
+        rate = self._rate_for(job.dst)
+        if job.kind == "bar":
+            orig = self._originator_for(job.dst)
+            frame: Any = BarFrame(
+                src=self.address, dst=job.dst,
+                win_start=orig.window_start,
+                rate_mbps=self.phy.control_rate_for(rate))
+            duration = self.phy.control_duration_ns(frame.byte_length,
+                                                    frame.rate_mbps)
+        elif job.is_batch:
+            frame = AmpduFrame(mpdus=job.mpdus, rate_mbps=rate)
+            duration = self.phy.frame_duration_ns(frame.byte_length, rate)
+        else:
+            frame = DataFrame(mpdu=job.mpdus[0], rate_mbps=rate)
+            duration = self.phy.frame_duration_ns(frame.byte_length, rate)
+        job.attempts += 1
+        if self.stats is not None:
+            self.stats.on_tx_start(self.address, job, frame, duration,
+                                   wait_ns=self.sim.now - job.ready_at)
+        self._transmitting = True
+        self.medium.transmit(self, frame, duration)
+        self.sim.schedule(duration, self._tx_done, job)
+
+    def _tx_done(self, job: _Job) -> None:
+        self._transmitting = False
+        self._awaiting_response = True
+        timeout = (self.phy.ack_timeout_ns()
+                   + self.params.ack_timeout_extra_ns)
+        self._response_timeout_event = self.sim.schedule(
+            timeout, self._response_timeout, priority=1)
+
+    def _response_timeout(self) -> None:
+        self._response_timeout_event = None
+        if self.medium.busy:
+            # A frame is in flight.  Usually its end event resolves the
+            # exchange, but if it is a frame we ourselves are sending
+            # (possible with device-delayed responses) no event will
+            # reach us, so poll again rather than relying on delivery.
+            self._response_timeout_event = self.sim.schedule(
+                self.phy.slot_ns, self._response_timeout, priority=1)
+            return
+        self._attempt_failed()
+
+    # ------------------------------------------------------------------
+    def _cancel_response_timeout(self) -> None:
+        if self._response_timeout_event is not None:
+            self._response_timeout_event.cancel()
+            self._response_timeout_event = None
+
+    def _attempt_failed(self) -> None:
+        job = self._current_job
+        assert job is not None
+        self._awaiting_response = False
+        self._cancel_response_timeout()
+        if self.stats is not None:
+            self.stats.on_exchange_failed(self.address, job)
+        if job.kind == "bar":
+            job.bar_retries += 1
+            if job.bar_retries > self.params.bar_retry_limit:
+                self._give_up_bar(job)
+                return
+            self._double_cw()
+            self._draw_backoff()
+            job.ready_at = self.sim.now
+            self._maybe_start_contention()
+            return
+        if job.is_batch:
+            # Block ACK missing: solicit it with a BAR (same dest).
+            self.rate_controller_for(job.dst).on_failure()
+            job.kind = "bar"
+            job.bar_retries = 0
+            self._double_cw()
+            self._draw_backoff()
+            job.ready_at = self.sim.now
+            self._maybe_start_contention()
+            return
+        # Single MPDU: classic retry with CW doubling.
+        self.rate_controller_for(job.dst).on_failure()
+        mpdu = job.mpdus[0]
+        mpdu.retry_count += 1
+        if mpdu.retry_count > self.params.retry_limit:
+            self.mpdus_dropped += 1
+            self.upper.on_mpdu_outcome(mpdu, delivered=False)
+            if self.stats is not None:
+                self.stats.on_mpdu_dropped(self.address, mpdu)
+            self._finish_job(success=False)
+            return
+        self._double_cw()
+        self._draw_backoff()
+        job.ready_at = self.sim.now
+        self._maybe_start_contention()
+
+    def _give_up_bar(self, job: _Job) -> None:
+        """BAR retries exhausted: paper Fig 8 — move on, set SYNC."""
+        orig = self._originator_for(job.dst)
+        requeued, dropped = orig.on_give_up()
+        for mpdu in dropped:
+            self.mpdus_dropped += 1
+            self.upper.on_mpdu_outcome(mpdu, delivered=False)
+            if self.stats is not None:
+                self.stats.on_mpdu_dropped(self.address, mpdu)
+        self._sync_pending[job.dst] = True
+        if self.stats is not None:
+            self.stats.on_bar_give_up(self.address, job.dst)
+        self._finish_job(success=False)
+
+    def _finish_job(self, success: bool) -> None:
+        self._current_job = None
+        self._awaiting_response = False
+        self._cancel_response_timeout()
+        self._reset_cw()
+        self._draw_backoff()  # post-transmission backoff
+        self._maybe_start_contention()
+
+    # ==================================================================
+    # Reception
+    # ==================================================================
+    def on_channel_busy(self, now: int) -> None:
+        self._cancel_countdown(now)
+
+    def on_channel_idle(self, now: int) -> None:
+        self._idle_since = now
+        self._maybe_start_contention()
+
+    def on_frame_error(self, frame: Any, sender: Any) -> None:
+        if self._transmitting:
+            return
+        self._use_eifs = True
+        # A defer already scheduled with DIFS must be stretched to EIFS.
+        if self._defer_event is not None:
+            self._defer_event.cancel()
+            self._defer_event = None
+            self._maybe_start_contention()
+        if self._awaiting_response:
+            self._resolve_awaited(None, None)
+
+    def on_frame_received(self, frame: Any, sender: Any) -> None:
+        if self._transmitting:
+            return  # half-duplex: cannot decode while transmitting
+        if self._use_eifs:
+            # The previous frame was bad but this one is fine: a defer
+            # scheduled with EIFS shrinks back to DIFS.
+            self._use_eifs = False
+            if self._defer_event is not None:
+                self._defer_event.cancel()
+                self._defer_event = None
+                self._maybe_start_contention()
+        sender_addr = getattr(sender, "address", sender)
+
+        is_for_me = getattr(frame, "dst", None) == self.address
+        if self._awaiting_response:
+            expected = (is_for_me
+                        and isinstance(frame, (AckFrame, BlockAckFrame))
+                        and frame.src == self._current_job.dst)
+            self._resolve_awaited(frame if expected else None, sender_addr)
+            if expected:
+                return
+            # Fall through: an unexpected frame may still need handling
+            # (e.g. the peer sent data because our frame was lost).
+
+        if not is_for_me:
+            return
+        if isinstance(frame, (DataFrame, AmpduFrame)):
+            self._receive_data(frame, sender, sender_addr)
+        elif isinstance(frame, BarFrame):
+            self._receive_bar(frame, sender_addr)
+        # Stray ACK/Block ACK frames (response to a withdrawn exchange)
+        # are ignored.
+
+    # ------------------------------------------------------------------
+    def _resolve_awaited(self, response: Optional[Any],
+                         sender_addr: Optional[str]) -> None:
+        """Called once per frame event while awaiting a response."""
+        if response is None:
+            self._attempt_failed()
+            return
+        job = self._current_job
+        self._awaiting_response = False
+        self._cancel_response_timeout()
+        self.upper.on_ll_ack_rx(response, sender_addr)
+        if isinstance(response, BlockAckFrame):
+            orig = self._originator_for(job.dst)
+            delivered, requeued, dropped = orig.on_block_ack(
+                response.acked_seqs)
+            self.rate_controller_for(job.dst).on_ratio(
+                len(delivered),
+                len(delivered) + len(requeued) + len(dropped))
+            for mpdu in delivered:
+                self.mpdus_delivered += 1
+                self.upper.on_mpdu_outcome(mpdu, delivered=True)
+                if self.stats is not None:
+                    self.stats.on_mpdu_delivered(self.address, mpdu)
+            for mpdu in dropped:
+                self.mpdus_dropped += 1
+                self.upper.on_mpdu_outcome(mpdu, delivered=False)
+                if self.stats is not None:
+                    self.stats.on_mpdu_dropped(self.address, mpdu)
+            if self.stats is not None and job.kind == "data":
+                self.stats.on_exchange_succeeded(self.address, job)
+        else:
+            mpdu = job.mpdus[0]
+            self.rate_controller_for(job.dst).on_success()
+            self.mpdus_delivered += 1
+            self.upper.on_mpdu_outcome(mpdu, delivered=True)
+            if self.stats is not None:
+                self.stats.on_mpdu_delivered(self.address, mpdu)
+                self.stats.on_exchange_succeeded(self.address, job)
+        self._finish_job(success=True)
+
+    # ------------------------------------------------------------------
+    def _receive_data(self, frame: Any, sender: Any,
+                      sender_addr: str) -> None:
+        recipient = self._recipient_for(sender_addr)
+        is_batch = isinstance(frame, AmpduFrame)
+        readable: List[Mpdu] = []
+        deliverable: List[Mpdu] = []
+        for mpdu in frame.mpdus:
+            if (self.loss_model is not None
+                    and self.loss_model.mpdu_lost(
+                        sender, self, mpdu,
+                        getattr(frame, "rate_mbps", 0.0))):
+                if self.stats is not None:
+                    self.stats.on_mpdu_corrupted(self.address, mpdu)
+                continue
+            readable.append(mpdu)
+            if recipient.record(mpdu):
+                if is_batch:
+                    # A-MPDU path: in-order delivery via the reorder
+                    # buffer (holes wait for link-layer retries).
+                    deliverable.extend(recipient.insert(mpdu))
+                else:
+                    deliverable.append(mpdu)
+        if not readable:
+            # Nothing decodable: behave as if the PPDU were lost
+            # (no response; the sender's timeout handles it).
+            return
+        # HACK drivers learn MORE DATA / SYNC / seq state here, before
+        # responses are built.
+        self.upper.on_data_ppdu(frame, sender_addr, readable)
+        for mpdu in deliverable:
+            self.upper.on_mpdu_delivered(mpdu, sender_addr)
+        if isinstance(frame, AmpduFrame):
+            start = min(m.seq for m in readable)
+            self._schedule_response(
+                sender_addr, kind="block_ack",
+                acked=recipient.acked_set(start),
+                win_start=start, elicited_by=frame)
+        else:
+            self._schedule_response(
+                sender_addr, kind="ack",
+                acked_seq=readable[0].seq, elicited_by=frame)
+
+    def _receive_bar(self, bar: BarFrame, sender_addr: str) -> None:
+        recipient = self._recipient_for(sender_addr)
+        self.upper.on_bar_rx(bar, sender_addr)
+        self._schedule_response(
+            sender_addr, kind="block_ack",
+            acked=recipient.acked_set(bar.win_start),
+            win_start=bar.win_start, elicited_by=bar)
+
+    # ------------------------------------------------------------------
+    # Responses (sent after SIFS, no contention)
+    # ------------------------------------------------------------------
+    def _schedule_response(self, peer: str, kind: str,
+                           elicited_by: Any, acked=None,
+                           win_start: int = 0,
+                           acked_seq: int = 0) -> None:
+        delay = self.phy.sifs_ns + self.params.extra_response_delay_ns
+        self.sim.schedule(delay, self._send_response, peer, kind,
+                          elicited_by, acked, win_start, acked_seq,
+                          priority=-2)
+
+    def _send_response(self, peer: str, kind: str, elicited_by: Any,
+                       acked, win_start: int, acked_seq: int) -> None:
+        rate = self.phy.control_rate_for(
+            getattr(elicited_by, "rate_mbps",
+                    self.params.data_rate_mbps))
+        payload = self.upper.hack_payload_for(peer)
+        if kind == "block_ack":
+            response: Any = BlockAckFrame(
+                src=self.address, dst=peer, win_start=win_start,
+                acked_seqs=acked, hack_payload=payload, rate_mbps=rate)
+        else:
+            response = AckFrame(
+                src=self.address, dst=peer, acked_seq=acked_seq,
+                hack_payload=payload, rate_mbps=rate)
+        duration = self.phy.control_duration_ns(response.byte_length,
+                                                rate)
+        if self.stats is not None:
+            stock_bytes = response.byte_length - (
+                len(payload) if payload else 0)
+            stock = self.phy.control_duration_ns(stock_bytes, rate)
+            self.stats.on_ll_response(
+                self.address, response, duration, stock,
+                elicited_by, self.phy,
+                extra_delay=self.params.extra_response_delay_ns)
+        self.medium.transmit(self, response, duration)
+        self.upper.on_ll_response_tx(peer, response, payload)

@@ -1,0 +1,176 @@
+"""MAC frame types.
+
+MPDU sequence numbers are monotonically increasing integers rather than
+mod-4096 counters: wraparound is a wire-representation detail that has
+no timing consequence, and monotone sequence numbers make window logic
+and duplicate detection transparent.  (DESIGN.md records this
+deviation.)
+
+``hack_payload`` on ACK / Block ACK frames is the serialised compressed
+TCP ACK frame (bytes) that TCP/HACK appends; its length lengthens the
+control frame's airtime exactly as in the paper.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, List, Optional, Tuple
+
+from .params import ACK_BYTES, BAR_BYTES, BLOCK_ACK_BYTES, \
+    MAC_DATA_OVERHEAD, mpdu_subframe_bytes
+
+_frame_ids = itertools.count(1)
+
+
+@dataclass
+class Mpdu:
+    """One MAC data frame (carrying an IP packet or probe payload)."""
+
+    src: Any
+    dst: Any
+    seq: int
+    payload: Any  # object with .byte_length; e.g. TcpSegment, UdpDatagram
+    more_data: bool = False
+    sync: bool = False
+    retry_count: int = 0
+    enqueued_at: int = 0
+    frame_id: int = field(default_factory=lambda: next(_frame_ids))
+
+    @property
+    def byte_length(self) -> int:
+        return MAC_DATA_OVERHEAD + self.payload.byte_length
+
+    @property
+    def is_retransmission(self) -> bool:
+        return self.retry_count > 0
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        flags = "".join(c for c, on in (("M", self.more_data),
+                                        ("S", self.sync),
+                                        ("R", self.retry_count > 0)) if on)
+        return f"<Mpdu #{self.seq} {self.src}->{self.dst} {flags}>"
+
+
+@dataclass
+class DataFrame:
+    """A PPDU carrying a single MPDU (802.11a-style operation)."""
+
+    mpdu: Mpdu
+    rate_mbps: float
+    is_control: bool = False
+
+    @property
+    def byte_length(self) -> int:
+        return self.mpdu.byte_length
+
+    @property
+    def src(self) -> Any:
+        return self.mpdu.src
+
+    @property
+    def dst(self) -> Any:
+        return self.mpdu.dst
+
+    @property
+    def mpdus(self) -> List[Mpdu]:
+        return [self.mpdu]
+
+    @property
+    def more_data(self) -> bool:
+        return self.mpdu.more_data
+
+    @property
+    def sync(self) -> bool:
+        return self.mpdu.sync
+
+
+@dataclass
+class AmpduFrame:
+    """A PPDU aggregating several MPDUs to one receiver (802.11n)."""
+
+    mpdus: List[Mpdu]
+    rate_mbps: float
+    is_control: bool = False
+
+    def __post_init__(self) -> None:
+        if not self.mpdus:
+            raise ValueError("A-MPDU must contain at least one MPDU")
+        dsts = {m.dst for m in self.mpdus}
+        if len(dsts) != 1:
+            raise ValueError("all MPDUs in an A-MPDU share one receiver")
+
+    @property
+    def byte_length(self) -> int:
+        return sum(mpdu_subframe_bytes(m.byte_length) for m in self.mpdus)
+
+    @property
+    def src(self) -> Any:
+        return self.mpdus[0].src
+
+    @property
+    def dst(self) -> Any:
+        return self.mpdus[0].dst
+
+    @property
+    def more_data(self) -> bool:
+        return any(m.more_data for m in self.mpdus)
+
+    @property
+    def sync(self) -> bool:
+        return any(m.sync for m in self.mpdus)
+
+    @property
+    def seq_range(self) -> Tuple[int, int]:
+        seqs = [m.seq for m in self.mpdus]
+        return min(seqs), max(seqs)
+
+
+@dataclass
+class AckFrame:
+    """Single link-layer ACK; may carry a HACK compressed-ACK payload."""
+
+    src: Any
+    dst: Any
+    acked_seq: int
+    hack_payload: Optional[bytes] = None
+    rate_mbps: float = 24.0
+    is_control: bool = True
+
+    @property
+    def byte_length(self) -> int:
+        extra = len(self.hack_payload) if self.hack_payload else 0
+        return ACK_BYTES + extra
+
+
+@dataclass
+class BlockAckFrame:
+    """Block ACK reporting per-MPDU reception; may carry HACK payload."""
+
+    src: Any
+    dst: Any
+    win_start: int
+    acked_seqs: frozenset
+    hack_payload: Optional[bytes] = None
+    rate_mbps: float = 24.0
+    is_control: bool = True
+
+    @property
+    def byte_length(self) -> int:
+        extra = len(self.hack_payload) if self.hack_payload else 0
+        return BLOCK_ACK_BYTES + extra
+
+
+@dataclass
+class BarFrame:
+    """Block ACK Request: solicits a Block ACK after one was lost."""
+
+    src: Any
+    dst: Any
+    win_start: int
+    rate_mbps: float = 24.0
+    is_control: bool = True
+
+    @property
+    def byte_length(self) -> int:
+        return BAR_BYTES

@@ -1,0 +1,7 @@
+"""Network nodes: wired server, AP bridge, WiFi clients."""
+
+from .ap import ApNode
+from .client import ClientNode
+from .server import ServerNode
+
+__all__ = ["ApNode", "ClientNode", "ServerNode"]

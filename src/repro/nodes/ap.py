@@ -1,0 +1,51 @@
+"""The access point: a bridge between the wired LAN and the WLAN.
+
+Downstream packets from the server are queued per-client at the MAC
+(whose batch builder sets the MORE DATA bit exactly when more packets
+for that client remain).  Upstream packets — vanilla TCP ACKs, upload
+data, and TCP ACKs reconstituted from HACK payloads on LL ACKs — are
+forwarded over the wired link to the server.
+
+The AP runs the same :class:`~repro.core.driver.HackDriver` as clients
+(the design is symmetric; for uploads it is the AP that compresses the
+server's TCP ACKs into its own LL ACKs).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..core.driver import HackDriver
+from ..sim.engine import Simulator
+from ..sim.wired import WiredLink
+
+
+class ApNode:
+    """Wired/wireless bridge."""
+
+    def __init__(self, sim: Simulator, driver: HackDriver,
+                 name: str = "AP"):
+        self.sim = sim
+        self.name = name
+        self.driver = driver
+        driver.node = self
+        self.link: Optional[WiredLink] = None
+        self.wifi_tx_drops = 0
+        self.packets_bridged_down = 0
+        self.packets_bridged_up = 0
+
+    def attach_link(self, link: WiredLink) -> None:
+        self.link = link
+
+    # ------------------------------------------------------------------
+    def receive_wired(self, packet: Any) -> None:
+        """Server -> client packets: queue on the WLAN for packet.dst."""
+        self.packets_bridged_down += 1
+        if not self.driver.send_packet(packet, packet.dst):
+            self.wifi_tx_drops += 1
+
+    def on_packet_received(self, packet: Any, sender: str) -> None:
+        """Client -> server packets (including decompressed TCP ACKs)."""
+        self.packets_bridged_up += 1
+        assert self.link is not None, "AP wired link not attached"
+        self.link.send_from(self, packet)

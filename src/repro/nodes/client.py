@@ -1,0 +1,90 @@
+"""A WiFi client (station).
+
+Models the host side of the paper's client: a protocol stack whose
+processing delay is why TCP ACKs can never ride the Block ACK of the
+A-MPDU that elicited them (§3.2) — received segments are handed to TCP
+only after ``stack_delay_ns``, far longer than SIFS.
+
+Holds TCP receivers (downloads), TCP senders (uploads), and a UDP sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from ..core.driver import HackDriver
+from ..sim.engine import Simulator
+from ..sim.units import usec
+from ..tcp.receiver import TcpReceiver
+from ..tcp.segment import TcpSegment, UdpDatagram
+from ..tcp.sender import TcpSender
+
+
+class ClientNode:
+    """A wireless station attached to one AP."""
+
+    def __init__(self, sim: Simulator, driver: HackDriver,
+                 name: str, ap_name: str = "AP",
+                 stack_delay_ns: int = usec(100),
+                 per_packet_cost_ns: int = usec(1)):
+        self.sim = sim
+        self.name = name
+        self.ap_name = ap_name
+        self.driver = driver
+        driver.node = self
+        self.stack_delay_ns = stack_delay_ns
+        self.per_packet_cost_ns = per_packet_cost_ns
+        self.receivers: Dict[int, TcpReceiver] = {}
+        self.senders: Dict[int, TcpSender] = {}
+        # UDP sink accounting: cumulative bytes plus snapshots.
+        self.udp_bytes = 0
+        self.udp_packets = 0
+        self.udp_snapshots: List[Tuple[int, int]] = []
+        self._burst_index = 0
+        self._last_burst_time = -1
+
+    # ------------------------------------------------------------------
+    def add_receiver(self, receiver: TcpReceiver) -> TcpReceiver:
+        self.receivers[receiver.flow_id] = receiver
+        return receiver
+
+    def add_sender(self, sender: TcpSender) -> TcpSender:
+        self.senders[sender.flow_id] = sender
+        return sender
+
+    # ------------------------------------------------------------------
+    # Driver callbacks
+    # ------------------------------------------------------------------
+    def on_packet_received(self, packet: Any, sender: str) -> None:
+        """Hand a received packet to the host stack after its delay."""
+        if self.sim.now != self._last_burst_time:
+            self._last_burst_time = self.sim.now
+            self._burst_index = 0
+        delay = self.stack_delay_ns + \
+            self._burst_index * self.per_packet_cost_ns
+        self._burst_index += 1
+        self.sim.schedule(delay, self._stack_process, packet)
+
+    def _stack_process(self, packet: Any) -> None:
+        if isinstance(packet, UdpDatagram):
+            self.udp_bytes += packet.payload_bytes
+            self.udp_packets += 1
+            return
+        if isinstance(packet, TcpSegment):
+            if packet.is_pure_ack:
+                sender = self.senders.get(packet.flow_id)
+                if sender is not None:
+                    sender.on_ack(packet)
+            else:
+                receiver = self.receivers.get(packet.flow_id)
+                if receiver is not None:
+                    receiver.on_segment(packet)
+
+    # ------------------------------------------------------------------
+    # Stack output (ACKs from receivers, data from senders)
+    # ------------------------------------------------------------------
+    def transmit(self, segment: TcpSegment) -> None:
+        self.driver.send_packet(segment, self.ap_name)
+
+    def snapshot_udp(self) -> None:
+        self.udp_snapshots.append((self.sim.now, self.udp_bytes))

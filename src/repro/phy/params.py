@@ -1,0 +1,146 @@
+"""PHY-level timing parameter sets for 802.11a and 802.11n (HT).
+
+Durations follow the OFDM PPDU format: a fixed preamble (PLCP preamble +
+header) followed by an integer number of OFDM symbols covering the
+16-bit SERVICE field, the payload, and 6 tail bits.
+
+802.11a (the SoRa testbed configuration):
+    preamble 16 us + SIGNAL 4 us = 20 us, 4 us symbols,
+    slot 9 us, SIFS 16 us, DIFS = SIFS + 2*slot = 34 us.
+
+802.11n HT mixed-format, 40 MHz, 400 ns short guard interval, as used in
+the paper's ns-3 simulations (rates 15..150 Mbit/s with one antenna):
+    L-STF 8 + L-LTF 8 + L-SIG 4 + HT-SIG 8 + HT-STF 4 + HT-LTF 4 = 36 us
+    preamble, 3.6 us symbols.  EDCA best-effort AIFS = SIFS + 3*slot =
+    43 us, which with the mean CWmin/2 backoff of 67.5 us reproduces the
+    110.5 us average pre-transmission idle the paper quotes.
+
+Control frames (ACK / Block ACK / BAR) are transmitted in the legacy
+(802.11a) OFDM format at a basic rate, per the standard and the paper
+("link-layer ACK bit-rates of ... 24 Mbps").
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..sim.units import usec
+
+
+@dataclass(frozen=True)
+class PhyParams:
+    """Timing description of one PHY flavour."""
+
+    name: str
+    slot_ns: int
+    sifs_ns: int
+    preamble_ns: int
+    symbol_ns: int
+    service_bits: int = 16
+    tail_bits: int = 6
+    #: Rates (Mbit/s) usable for data frames with this PHY.
+    data_rates: Tuple[float, ...] = field(default=())
+    #: Basic rates from which control-response rates are chosen.
+    basic_rates: Tuple[float, ...] = (6.0, 12.0, 24.0)
+    #: AIFSN for the best-effort access category (2 => legacy DIFS).
+    aifsn: int = 2
+    cw_min: int = 15
+    cw_max: int = 1023
+
+    @property
+    def difs_ns(self) -> int:
+        """DIFS / AIFS[BE]: SIFS + AIFSN * slot."""
+        return self.sifs_ns + self.aifsn * self.slot_ns
+
+    @property
+    def eifs_ns(self) -> int:
+        """EIFS used after an undecodable frame (SIFS + ACK@lowest + DIFS)."""
+        ack_time = self.control_duration_ns(14, self.basic_rates[0])
+        return self.sifs_ns + ack_time + self.difs_ns
+
+    # ------------------------------------------------------------------
+    # Durations
+    # ------------------------------------------------------------------
+    def frame_duration_ns(self, num_bytes: int, rate_mbps: float) -> int:
+        """Airtime of a PPDU carrying ``num_bytes`` at ``rate_mbps``."""
+        if rate_mbps not in self.data_rates:
+            raise ValueError(
+                f"{rate_mbps} Mbps is not a {self.name} data rate "
+                f"(valid: {self.data_rates})")
+        return self._ofdm_duration(num_bytes, rate_mbps,
+                                   self.preamble_ns, self.symbol_ns)
+
+    def control_duration_ns(self, num_bytes: int, rate_mbps: float) -> int:
+        """Airtime of a control frame (legacy OFDM format, 20us preamble)."""
+        return self._ofdm_duration(num_bytes, rate_mbps,
+                                   usec(20), usec(4))
+
+    def _ofdm_duration(self, num_bytes: int, rate_mbps: float,
+                       preamble_ns: int, symbol_ns: int) -> int:
+        bits = self.service_bits + self.tail_bits + 8 * num_bytes
+        bits_per_symbol = rate_mbps * (symbol_ns / 1_000.0)
+        symbols = math.ceil(bits / bits_per_symbol)
+        return preamble_ns + symbols * symbol_ns
+
+    def control_rate_for(self, data_rate_mbps: float) -> float:
+        """Highest basic rate not exceeding the data rate (802.11 rule)."""
+        candidates = [r for r in self.basic_rates if r <= data_rate_mbps]
+        return max(candidates) if candidates else self.basic_rates[0]
+
+    def ack_timeout_ns(self) -> int:
+        """SIFS + slot + PHY preamble: how long to wait for an ACK to begin."""
+        return self.sifs_ns + self.slot_ns + usec(20)
+
+    def mean_backoff_ns(self) -> int:
+        """Average initial backoff: (CWmin / 2) * slot."""
+        return (self.cw_min * self.slot_ns) // 2
+
+
+#: 802.11a OFDM PHY (5 GHz parameters; the paper runs it at 2.4 GHz on
+#: SoRa but notes "this does not affect protocol behavior").
+PHY_11A = PhyParams(
+    name="802.11a",
+    slot_ns=usec(9),
+    sifs_ns=usec(16),
+    preamble_ns=usec(20),
+    symbol_ns=usec(4),
+    data_rates=(6.0, 9.0, 12.0, 18.0, 24.0, 36.0, 48.0, 54.0),
+    aifsn=2,
+)
+
+#: 802.11n HT, 40 MHz channel, 400 ns short guard interval, MCS 0-7
+#: (one spatial stream): exactly the rate set of the paper's Fig. 11.
+HT40_SGI_RATES_1SS = (15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 135.0, 150.0)
+
+PHY_11N = PhyParams(
+    name="802.11n",
+    slot_ns=usec(9),
+    sifs_ns=usec(16),
+    preamble_ns=usec(36),
+    symbol_ns=usec(3.6),
+    data_rates=HT40_SGI_RATES_1SS,
+    aifsn=3,  # EDCA best-effort: AIFS = 16 + 3*9 = 43 us
+)
+
+
+def ht_rates_for_streams(streams: int) -> Tuple[float, ...]:
+    """HT 40 MHz SGI rates for 1..4 spatial streams (for Fig 1b's x-axis
+    which extends to 600 Mbit/s)."""
+    if not 1 <= streams <= 4:
+        raise ValueError("streams must be 1..4")
+    return tuple(r * streams for r in HT40_SGI_RATES_1SS)
+
+
+def phy_11n_with_rates(rates: Tuple[float, ...]) -> PhyParams:
+    """An 802.11n parameter set with an extended data-rate table."""
+    return PhyParams(
+        name="802.11n",
+        slot_ns=usec(9),
+        sifs_ns=usec(16),
+        preamble_ns=usec(36),
+        symbol_ns=usec(3.6),
+        data_rates=rates,
+        aifsn=3,
+    )

@@ -1,0 +1,115 @@
+"""Transmit-side ROHC compressor for TCP ACKs.
+
+One compressor serves one link direction (e.g. client -> AP) and holds
+one context per flow CID.  It assigns the link-wide master sequence
+number (MSN) that the retention/duplicate-discard machinery of §3.4 is
+built on.
+
+Contexts are established by *vanilla* ACKs (no IR packets): the caller
+must report every uncompressed ACK it transmits via
+:meth:`note_vanilla_ack`, which both creates contexts and keeps the
+delta references in sync with what the decompressor (which snoops the
+same vanilla ACKs) believes.  Whenever synchronisation cannot be
+assumed — a flow's first compressed ACK after vanilla ones, or after
+the driver discarded unconfirmed compressed ACKs — the next entry is
+encoded in absolute (rebase) form.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from ..tcp.segment import TcpSegment
+from .context import CompressorContext, cid_for_flow
+from .packets import CompressedAck, encode_entry
+
+
+class Compressor:
+    """Per-link-direction TCP ACK compressor."""
+
+    def __init__(self, init_threshold: int = 1):
+        #: Vanilla ACKs that must precede compression of a new flow
+        #: (gives the decompressor its context; >=1 mirrors the paper).
+        self.init_threshold = init_threshold
+        self.contexts: Dict[int, CompressorContext] = {}
+        self._flow_of_cid: Dict[int, Tuple] = {}
+        self._blocked_flows = set()
+        self._last_cid: Optional[int] = None
+        self.next_msn = 0
+        # Counters.
+        self.compressed_count = 0
+        self.compressed_bytes = 0
+        self.collisions = 0
+
+    # ------------------------------------------------------------------
+    def _context_for(self, segment: TcpSegment,
+                     create: bool) -> Optional[CompressorContext]:
+        key = segment.five_tuple.key()
+        if key in self._blocked_flows:
+            return None
+        cid = cid_for_flow(segment.five_tuple)
+        owner = self._flow_of_cid.get(cid)
+        if owner is None:
+            if not create:
+                return None
+            context = CompressorContext(
+                cid=cid, five_tuple=segment.five_tuple,
+                flow_id=segment.flow_id, src=segment.src,
+                dst=segment.dst)
+            self.contexts[cid] = context
+            self._flow_of_cid[cid] = key
+            return context
+        if owner != key:
+            # CID collision: the newer flow falls back to vanilla ACKs.
+            self.collisions += 1
+            self._blocked_flows.add(key)
+            return None
+        return self.contexts[cid]
+
+    # ------------------------------------------------------------------
+    def note_vanilla_ack(self, segment: TcpSegment) -> None:
+        """Record an ACK that is being sent uncompressed."""
+        if not segment.is_pure_ack:
+            return
+        context = self._context_for(segment, create=True)
+        if context is not None:
+            context.note_vanilla(segment)
+
+    def can_compress(self, segment: TcpSegment) -> bool:
+        """True if this ACK's flow has an established context."""
+        if not segment.is_pure_ack:
+            return False
+        context = self._context_for(segment, create=False)
+        return (context is not None
+                and context.vanilla_seen >= self.init_threshold)
+
+    def compress(self, segment: TcpSegment) -> CompressedAck:
+        """Compress one ACK, advancing the context and the MSN."""
+        context = self._context_for(segment, create=False)
+        if context is None or context.vanilla_seen < self.init_threshold:
+            raise ValueError("flow context not established; send the "
+                             "ACK vanilla first (use can_compress)")
+        same_cid = self._last_cid == context.cid
+        msn = self.next_msn
+        data, new_state = encode_entry(
+            context.state, segment, context.cid, same_cid, msn,
+            force_absolute=context.rebase_needed)
+        context.state = new_state
+        context.rebase_needed = False
+        self._last_cid = context.cid
+        self.next_msn += 1
+        self.compressed_count += 1
+        self.compressed_bytes += len(data)
+        return CompressedAck(msn=msn, cid=context.cid, data=data,
+                             segment=segment)
+
+    def rebase_all(self) -> None:
+        """Force the next compressed ACK of every flow to be absolute
+        and to carry an explicit CID.
+
+        Called after compressed ACKs were discarded unconfirmed: the
+        decompressor may have missed both the delta state and the CID
+        chain, so the next entry must be self-contained."""
+        for context in self.contexts.values():
+            context.rebase_needed = True
+        self._last_cid = None

@@ -1,0 +1,118 @@
+"""ROHC contexts and CID derivation.
+
+A context caches the static TCP/IP fields of one flow (the 5-tuple and
+friends) plus the reference values of the dynamic fields from which
+deltas are encoded.  Per the paper's TCP/HACK-specific optimisations
+(§3.3.2):
+
+* No Initialize-Refresh packets: contexts are created at both endpoints
+  by observing *uncompressed* (vanilla) TCP ACKs for the flow.
+* CIDs are computed independently at each endpoint as the lowest byte
+  of the MD5 hash over the flow's 5-tuple — no CID negotiation.
+
+CID collisions (two flows hashing to the same byte) are possible by
+construction; the compressor detects them and simply declines to
+compress the newer flow, which degrades gracefully to vanilla ACKs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from ..tcp.segment import FiveTuple, TcpSegment
+
+
+def cid_for_flow(five_tuple: FiveTuple) -> int:
+    """Lowest byte of MD5 over the 5-tuple (paper §3.3.2, item 2)."""
+    text = "tcp|%s|%s|%d|%d" % five_tuple.key()
+    digest = hashlib.md5(text.encode("ascii")).digest()
+    return digest[0]
+
+
+@dataclass
+class DynamicState:
+    """Reference values for delta encoding (shared shape at both ends)."""
+
+    ack: int = 0
+    ack_delta: int = 0   # previous inter-ACK stride (delta-of-delta ref)
+    ts_val: int = 0
+    ts_ecr: int = 0
+    rwnd: int = 0
+    seq: int = 0
+
+    def crc_input(self) -> bytes:
+        """Canonical serialisation of the reconstructed dynamic header
+        fields, over which the per-packet CRC-3 is computed."""
+        return b"".join(v.to_bytes(8, "big", signed=False) for v in (
+            self.ack & (2**64 - 1), self.ts_val & (2**64 - 1),
+            self.ts_ecr & (2**64 - 1), self.rwnd & (2**64 - 1),
+            self.seq & (2**64 - 1)))
+
+
+@dataclass
+class CompressorContext:
+    """Transmit-side per-flow state."""
+
+    cid: int
+    five_tuple: FiveTuple
+    flow_id: int
+    src: str
+    dst: str
+    state: DynamicState = field(default_factory=DynamicState)
+    #: Vanilla ACKs observed so far (context considered established
+    #: after ``init_threshold`` of them have been sent normally).
+    vanilla_seen: int = 0
+    #: Set when delta references may not match the decompressor (after
+    #: an unconfirmed flush, or after vanilla ACKs advanced the state):
+    #: forces the next compressed ACK to carry absolute values.
+    rebase_needed: bool = True
+
+    def note_vanilla(self, segment: TcpSegment) -> None:
+        self.vanilla_seen += 1
+        self.state.ack = segment.ack
+        self.state.ack_delta = 0
+        self.state.ts_val = segment.ts_val
+        self.state.ts_ecr = segment.ts_ecr
+        self.state.rwnd = segment.rwnd
+        self.state.seq = segment.seq
+        self.rebase_needed = True
+
+
+@dataclass
+class DecompressorContext:
+    """Receive-side per-CID state."""
+
+    cid: int
+    five_tuple: FiveTuple
+    flow_id: int
+    src: str
+    dst: str
+    state: DynamicState = field(default_factory=DynamicState)
+    #: Set after a CRC failure: deltas are untrusted until an absolute
+    #: (rebase) entry repairs the context.
+    damaged: bool = False
+
+    def note_vanilla(self, segment: TcpSegment) -> None:
+        # Monotone guard: link-layer retries can reorder vanilla ACKs
+        # behind newer compressed ones; a stale ACK must not regress
+        # the reference state the compressor has already moved past.
+        # Duplicate ACKs share the cumulative ACK number, so the tie
+        # is broken by the (monotone per-host) timestamp.
+        if (segment.ack, segment.ts_val) < (self.state.ack,
+                                            self.state.ts_val):
+            return
+        self.state.ack = segment.ack
+        self.state.ack_delta = 0
+        self.state.ts_val = segment.ts_val
+        self.state.ts_ecr = segment.ts_ecr
+        self.state.rwnd = segment.rwnd
+        self.state.seq = segment.seq
+        self.damaged = False
+
+
+def context_pair_for(segment: TcpSegment
+                     ) -> Tuple[int, FiveTuple]:
+    """(CID, five-tuple) for the flow a pure ACK belongs to."""
+    return cid_for_flow(segment.five_tuple), segment.five_tuple

@@ -1,0 +1,47 @@
+"""CRC functions used by the ROHC profile (RFC 5795 §5.3.1.1).
+
+ROHC defines 3-, 7- and 8-bit CRCs over the uncompressed header to
+detect decompressor context damage.  TCP/HACK uses the 3-bit CRC in
+each compressed ACK's control byte (it is what lets the paper claim
+"no decompression CRC failures" under loss); the 7/8-bit variants are
+provided for completeness and used in tests.
+"""
+
+from __future__ import annotations
+
+#: Polynomials from RFC 5795: C(x) listed LSB-first as used there.
+CRC3_POLY = 0x6   # x^3 + x + 1
+CRC7_POLY = 0x79  # x^7 + x^6 + x^5 + x^4 + x^3 + x + 1 (bit-reversed)
+CRC8_POLY = 0xE0  # x^8 + x^2 + x + 1 (bit-reversed)
+
+
+def _crc_bitwise(data: bytes, width: int, poly: int, init: int) -> int:
+    """Reflected (LSB-first) CRC as specified for ROHC.
+
+    Every input bit is folded in LSB-first; ``poly`` is the
+    bit-reversed generator polynomial."""
+    crc = init
+    mask = (1 << width) - 1
+    for byte in data:
+        for i in range(8):
+            bit = (byte >> i) & 1
+            if (crc ^ bit) & 1:
+                crc = (crc >> 1) ^ poly
+            else:
+                crc >>= 1
+    return crc & mask
+
+
+def crc3(data: bytes) -> int:
+    """ROHC CRC-3 (returns 0..7)."""
+    return _crc_bitwise(data, 3, CRC3_POLY, 0x7)
+
+
+def crc7(data: bytes) -> int:
+    """ROHC CRC-7 (returns 0..127)."""
+    return _crc_bitwise(data, 7, CRC7_POLY, 0x7F)
+
+
+def crc8(data: bytes) -> int:
+    """ROHC CRC-8 (returns 0..255)."""
+    return _crc_bitwise(data, 8, CRC8_POLY, 0xFF)

@@ -1,0 +1,125 @@
+"""Receive-side ROHC decompressor for TCP ACKs.
+
+Applies HACK-frame entries strictly in master-sequence order and
+discards duplicates — the §3.4 mechanism that lets the client blindly
+re-send the same compressed ACKs on every LL ACK until confirmed.
+
+Failure containment: a CRC-3 mismatch marks the flow's context damaged
+and suppresses further delta entries until an absolute (rebase) entry
+repairs it; unknown CIDs (context-establishing vanilla ACK lost) are
+skipped.  Both are counted — the paper's claim is that in practice
+these counters stay at zero CRC failures.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from ..tcp.segment import TcpSegment
+from .context import DecompressorContext, cid_for_flow
+from .crc import crc3
+from .packets import ACK_ABSOLUTE, ParseError, apply_entry, parse_frame
+from .wlsb import lsb_decode
+
+
+class Decompressor:
+    """Per-link-direction TCP ACK decompressor."""
+
+    #: Interpretation window offset for the 8-bit first-entry MSN:
+    #: retained (retransmitted) entries may reach this far behind.
+    MSN_P = 128
+
+    def __init__(self) -> None:
+        self.contexts: Dict[int, DecompressorContext] = {}
+        self.last_msn = -1
+        #: CID of the last entry in MSN order (the ``same_cid`` chain is
+        #: global across frames, mirroring the compressor's state).
+        self._last_cid: Optional[int] = None
+        # Counters.
+        self.acks_reconstructed = 0
+        self.duplicates_skipped = 0
+        self.crc_failures = 0
+        self.unknown_cid = 0
+        self.damaged_skips = 0
+        self.parse_errors = 0
+        self.frames_processed = 0
+
+    # ------------------------------------------------------------------
+    def note_vanilla_ack(self, segment: TcpSegment) -> None:
+        """Snoop an uncompressed ACK to create/refresh its context."""
+        if not segment.is_pure_ack:
+            return
+        cid = cid_for_flow(segment.five_tuple)
+        context = self.contexts.get(cid)
+        if context is None:
+            context = DecompressorContext(
+                cid=cid, five_tuple=segment.five_tuple,
+                flow_id=segment.flow_id, src=segment.src,
+                dst=segment.dst)
+            self.contexts[cid] = context
+        context.note_vanilla(segment)
+
+    # ------------------------------------------------------------------
+    def decompress_frame(self, data: bytes) -> List[TcpSegment]:
+        """Reconstruct the new (non-duplicate) TCP ACKs in a frame."""
+        self.frames_processed += 1
+        try:
+            first_msn8, entries = parse_frame(data)
+        except ParseError:
+            self.parse_errors += 1
+            return []
+        first_msn = lsb_decode(first_msn8, 8, self.last_msn + 1,
+                               p=self.MSN_P)
+        output: List[TcpSegment] = []
+        for index, entry in enumerate(entries):
+            msn = first_msn + index
+            if entry.msn_nibble != (msn & 0xF):
+                # MSN chain broken: do not trust the rest of the frame.
+                self.parse_errors += 1
+                break
+            if msn > self.last_msn + 1 and entry.same_cid:
+                # An MSN gap (the peer discarded unconfirmed entries)
+                # invalidates the CID chain; the compressor emits an
+                # explicit CID after such discards, so a same_cid entry
+                # here is undecodable.
+                self.parse_errors += 1
+                self._last_cid = None
+                self.last_msn = max(self.last_msn, msn)
+                continue
+            if not entry.same_cid:
+                self._last_cid = entry.cid
+            cid = self._last_cid
+            if msn <= self.last_msn:
+                self.duplicates_skipped += 1
+                continue
+            self.last_msn = msn
+            if cid is None:
+                self.parse_errors += 1
+                continue
+            segment = self._apply(cid, entry)
+            if segment is not None:
+                output.append(segment)
+        return output
+
+    def _apply(self, cid: int, entry) -> Optional[TcpSegment]:
+        context = self.contexts.get(cid)
+        if context is None:
+            self.unknown_cid += 1
+            return None
+        if context.damaged and entry.ack_mode != ACK_ABSOLUTE:
+            self.damaged_skips += 1
+            return None
+        new_state = apply_entry(entry, context.state)
+        if crc3(new_state.crc_input()) != entry.crc:
+            self.crc_failures += 1
+            context.damaged = True
+            return None
+        context.state = new_state
+        context.damaged = False
+        self.acks_reconstructed += 1
+        return TcpSegment(
+            flow_id=context.flow_id, src=context.src, dst=context.dst,
+            seq=new_state.seq, payload_bytes=0, ack=new_state.ack,
+            rwnd=new_state.rwnd, ts_val=new_state.ts_val,
+            ts_ecr=new_state.ts_ecr, sack_blocks=entry.sack_blocks,
+            five_tuple=context.five_tuple)

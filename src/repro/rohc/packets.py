@@ -1,0 +1,308 @@
+"""Wire format of compressed TCP ACKs (the bytes HACK appends to LL ACKs).
+
+A **HACK frame** is what rides on one LL ACK / Block ACK::
+
+    [count u8][first_msn u8][entry 0][entry 1]...[entry count-1]
+
+The first entry's master sequence number (MSN) is carried as a full
+8-bit LSB field (the paper's §3.4 widening, because an A-MPDU can carry
+64 packets' worth of retained ACKs); subsequent entries carry a 4-bit
+MSN residue that must match the implicit ``first + i`` progression.
+
+Each **entry** compresses one pure TCP ACK:
+
+    byte0 (ctrl):  bits 7-6 ack_mode   0 = stride repeat (ack += previous
+                                           inter-ACK delta; the paper's
+                                           "constant payload" 3-byte case)
+                                       1 = new u8 delta
+                                       2 = new u16 delta
+                                       3 = absolute rebase entry
+                   bits 5-4 ts_mode    0 = both timestamps unchanged
+                                       1 = zigzag u8 deltas
+                                       2 = zigzag u16 deltas
+                                       3 = (with ack_mode 3) absolutes
+                   bit 3    same_cid   previous compressed ACK's CID applies
+                   bits 2-0 crc3       ROHC CRC-3 over the reconstructed
+                                       dynamic fields
+    byte1:         bits 7-4 msn residue (low nibble of this entry's MSN)
+                   bit 3    wnd_present (zigzag u16 rwnd delta follows)
+                   bit 2    sack_present
+                   bits 1-0 reserved (0)
+    [cid u8]                     if not same_cid
+    [ack bytes]                  per ack_mode (mode 3: ack u32, seq u32,
+                                 wnd u16)
+    [ts bytes]                   per ts_mode (mode 3 with ack_mode 3:
+                                 ts_val u32, ts_ecr u32)
+    [wnd zigzag u16]             if wnd_present and ack_mode != 3
+    [sack: u8 n, then n x (u32 start, u32 end)]   if sack_present
+
+A typical steady-state ACK (constant stride, unchanged ms-granularity
+timestamps, same flow) costs 2 bytes, a changing one 3-5 — bracketing
+the paper's "about 4 bytes, or even 3" (§3.3.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .context import DynamicState
+from .crc import crc3
+
+ACK_STRIDE, ACK_D8, ACK_D16, ACK_ABSOLUTE = 0, 1, 2, 3
+TS_UNCHANGED, TS_D8, TS_D16, TS_ABSOLUTE = 0, 1, 2, 3
+
+
+def zigzag(n: int) -> int:
+    """Map a signed int to an unsigned one (0, -1, 1, -2, ... order)."""
+    return (n << 1) if n >= 0 else ((-n) << 1) - 1
+
+
+def unzigzag(z: int) -> int:
+    return (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
+
+
+@dataclass
+class CompressedAck:
+    """One compressed ACK, serialised once at compression time."""
+
+    msn: int
+    cid: int
+    data: bytes
+    #: The original segment (kept so vanilla fallback can resend it).
+    segment: object = None
+    sent_once: bool = False
+
+
+class EncodingError(ValueError):
+    """The segment cannot be expressed in the requested mode."""
+
+
+# ----------------------------------------------------------------------
+# Encoding
+# ----------------------------------------------------------------------
+def encode_entry(state: DynamicState, segment, cid: int, same_cid: bool,
+                 msn: int, force_absolute: bool = False
+                 ) -> Tuple[bytes, DynamicState]:
+    """Serialise one pure ACK against ``state``; returns (bytes,
+    new_state).  ``state`` is not mutated."""
+    if segment.payload_bytes != 0:
+        raise EncodingError("only pure ACKs are compressible")
+    d_ack = segment.ack - state.ack
+    d_tv = segment.ts_val - state.ts_val
+    d_te = segment.ts_ecr - state.ts_ecr
+    d_wnd = segment.rwnd - state.rwnd
+
+    # A backwards cumulative ACK (duplicate of an older ACK after a
+    # vanilla/compressed interleaving) cannot be delta-encoded.
+    absolute = (force_absolute or d_ack < 0 or d_ack > 0xFFFF
+                or segment.seq != state.seq
+                or not -0x4000 <= d_wnd <= 0x3FFF
+                or not -0x4000 <= d_tv <= 0x3FFF
+                or not -0x4000 <= d_te <= 0x3FFF
+                or segment.ack >= 1 << 32
+                or segment.ts_val >= 1 << 32
+                or segment.ts_ecr >= 1 << 32)
+
+    new_state = DynamicState(
+        ack=segment.ack, ack_delta=0 if absolute else d_ack,
+        ts_val=segment.ts_val, ts_ecr=segment.ts_ecr,
+        rwnd=segment.rwnd, seq=segment.seq)
+    crc = crc3(new_state.crc_input())
+
+    sack = tuple(segment.sack_blocks)
+    body = bytearray()
+    if absolute:
+        ack_mode, ts_mode = ACK_ABSOLUTE, TS_ABSOLUTE
+        wnd_present = False
+        body += segment.ack.to_bytes(4, "big")
+        body += segment.seq.to_bytes(4, "big")
+        body += segment.rwnd.to_bytes(4, "big")
+        body += segment.ts_val.to_bytes(4, "big")
+        body += segment.ts_ecr.to_bytes(4, "big")
+    else:
+        if d_ack == state.ack_delta:
+            ack_mode = ACK_STRIDE
+        elif d_ack <= 0xFF:
+            ack_mode = ACK_D8
+            body += d_ack.to_bytes(1, "big")
+        else:
+            ack_mode = ACK_D16
+            body += d_ack.to_bytes(2, "big")
+        if ack_mode != ACK_STRIDE:
+            new_state.ack_delta = d_ack
+        else:
+            new_state.ack_delta = state.ack_delta
+        if d_tv == 0 and d_te == 0:
+            ts_mode = TS_UNCHANGED
+        elif zigzag(d_tv) <= 0xFF and zigzag(d_te) <= 0xFF:
+            ts_mode = TS_D8
+            body += bytes([zigzag(d_tv), zigzag(d_te)])
+        else:
+            ts_mode = TS_D16
+            body += zigzag(d_tv).to_bytes(2, "big")
+            body += zigzag(d_te).to_bytes(2, "big")
+        wnd_present = d_wnd != 0
+        if wnd_present:
+            body += zigzag(d_wnd).to_bytes(2, "big")
+
+    if sack:
+        body += bytes([len(sack)])
+        for start, end in sack:
+            body += start.to_bytes(4, "big") + end.to_bytes(4, "big")
+
+    ctrl = (ack_mode << 6) | (ts_mode << 4) | \
+        ((1 if same_cid else 0) << 3) | crc
+    byte1 = ((msn & 0xF) << 4) | ((1 if wnd_present else 0) << 3) | \
+        ((1 if sack else 0) << 2)
+    out = bytearray([ctrl, byte1])
+    if not same_cid:
+        out.append(cid & 0xFF)
+    out += body
+    return bytes(out), new_state
+
+
+# ----------------------------------------------------------------------
+# Decoding
+# ----------------------------------------------------------------------
+@dataclass
+class DecodedEntry:
+    """Parsed wire entry, not yet applied to a context."""
+
+    ack_mode: int
+    ts_mode: int
+    same_cid: bool
+    crc: int
+    msn_nibble: int
+    wnd_present: bool
+    cid: Optional[int]
+    d_ack: int = 0
+    abs_ack: int = 0
+    abs_seq: int = 0
+    abs_wnd: int = 0
+    abs_ts_val: int = 0
+    abs_ts_ecr: int = 0
+    d_tv: int = 0
+    d_te: int = 0
+    d_wnd: int = 0
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    size: int = 0
+
+
+class ParseError(ValueError):
+    """Malformed HACK frame bytes."""
+
+
+def parse_entry(data: bytes, offset: int) -> DecodedEntry:
+    """Parse one entry starting at ``offset`` (structure only)."""
+    try:
+        ctrl = data[offset]
+        byte1 = data[offset + 1]
+    except IndexError:
+        raise ParseError("truncated entry header")
+    pos = offset + 2
+    entry = DecodedEntry(
+        ack_mode=(ctrl >> 6) & 0x3, ts_mode=(ctrl >> 4) & 0x3,
+        same_cid=bool(ctrl & 0x08), crc=ctrl & 0x07,
+        msn_nibble=(byte1 >> 4) & 0xF,
+        wnd_present=bool(byte1 & 0x08), cid=None)
+    sack_present = bool(byte1 & 0x04)
+
+    def take(n: int) -> bytes:
+        nonlocal pos
+        if pos + n > len(data):
+            raise ParseError("truncated entry body")
+        chunk = data[pos:pos + n]
+        pos += n
+        return chunk
+
+    if not entry.same_cid:
+        entry.cid = take(1)[0]
+    if entry.ack_mode == ACK_ABSOLUTE:
+        entry.abs_ack = int.from_bytes(take(4), "big")
+        entry.abs_seq = int.from_bytes(take(4), "big")
+        entry.abs_wnd = int.from_bytes(take(4), "big")
+        entry.abs_ts_val = int.from_bytes(take(4), "big")
+        entry.abs_ts_ecr = int.from_bytes(take(4), "big")
+    else:
+        if entry.ack_mode == ACK_D8:
+            entry.d_ack = take(1)[0]
+        elif entry.ack_mode == ACK_D16:
+            entry.d_ack = int.from_bytes(take(2), "big")
+        if entry.ts_mode == TS_D8:
+            entry.d_tv = unzigzag(take(1)[0])
+            entry.d_te = unzigzag(take(1)[0])
+        elif entry.ts_mode == TS_D16:
+            entry.d_tv = unzigzag(int.from_bytes(take(2), "big"))
+            entry.d_te = unzigzag(int.from_bytes(take(2), "big"))
+        elif entry.ts_mode == TS_ABSOLUTE:
+            raise ParseError("absolute timestamps require ack_mode 3")
+        if entry.wnd_present:
+            entry.d_wnd = unzigzag(int.from_bytes(take(2), "big"))
+    if sack_present:
+        count = take(1)[0]
+        blocks: List[Tuple[int, int]] = []
+        for _ in range(count):
+            start = int.from_bytes(take(4), "big")
+            end = int.from_bytes(take(4), "big")
+            blocks.append((start, end))
+        entry.sack_blocks = tuple(blocks)
+    entry.size = pos - offset
+    return entry
+
+
+def apply_entry(entry: DecodedEntry, state: DynamicState
+                ) -> DynamicState:
+    """Apply a parsed entry to a context's dynamic state (pure)."""
+    if entry.ack_mode == ACK_ABSOLUTE:
+        return DynamicState(
+            ack=entry.abs_ack, ack_delta=0, ts_val=entry.abs_ts_val,
+            ts_ecr=entry.abs_ts_ecr, rwnd=entry.abs_wnd,
+            seq=entry.abs_seq)
+    if entry.ack_mode == ACK_STRIDE:
+        d_ack, new_stride = state.ack_delta, state.ack_delta
+    else:
+        d_ack, new_stride = entry.d_ack, entry.d_ack
+    return DynamicState(
+        ack=state.ack + d_ack, ack_delta=new_stride,
+        ts_val=state.ts_val + entry.d_tv,
+        ts_ecr=state.ts_ecr + entry.d_te,
+        rwnd=state.rwnd + entry.d_wnd, seq=state.seq)
+
+
+# ----------------------------------------------------------------------
+# Frames
+# ----------------------------------------------------------------------
+def build_frame(entries: List[CompressedAck]) -> bytes:
+    """Concatenate compressed ACKs into one HACK frame."""
+    if not entries:
+        raise ValueError("empty HACK frame")
+    if len(entries) > 255:
+        raise ValueError("HACK frame limited to 255 entries")
+    first = entries[0].msn
+    for i, entry in enumerate(entries):
+        if entry.msn != first + i:
+            raise ValueError("HACK frame entries must have consecutive "
+                             f"MSNs (got {entry.msn}, expected "
+                             f"{first + i})")
+    out = bytearray([len(entries), first & 0xFF])
+    for entry in entries:
+        out += entry.data
+    return bytes(out)
+
+
+def parse_frame(data: bytes) -> Tuple[int, List[DecodedEntry]]:
+    """Parse a HACK frame into (first_msn_lsb8, entries)."""
+    if len(data) < 2:
+        raise ParseError("frame too short")
+    count = data[0]
+    first_msn8 = data[1]
+    entries: List[DecodedEntry] = []
+    pos = 2
+    for _ in range(count):
+        entry = parse_entry(data, pos)
+        entries.append(entry)
+        pos += entry.size
+    if pos != len(data):
+        raise ParseError("trailing bytes after last entry")
+    return first_msn8, entries

@@ -1,0 +1,43 @@
+"""Window-based Least Significant Bits (W-LSB) encoding (RFC 5795 §4.5.2).
+
+Only the low ``k`` bits of a changing field are transmitted; the
+decompressor reconstructs the full value as the unique candidate whose
+low bits match, inside an *interpretation interval* anchored at its
+reference value:  ``[v_ref - p, v_ref - p + 2^k - 1]``.
+
+TCP/HACK uses this for the master sequence number: 8 bits for the
+first compressed ACK in a frame (the paper's §3.4 extension, needed
+because an A-MPDU can carry 64 packets' worth of retained ACKs) and
+implicit/short encodings afterwards.
+"""
+
+from __future__ import annotations
+
+
+def lsb_encode(value: int, k: int) -> int:
+    """Transmit the low ``k`` bits of ``value``."""
+    if k <= 0:
+        raise ValueError("k must be positive")
+    return value & ((1 << k) - 1)
+
+
+def lsb_decode(lsbs: int, k: int, v_ref: int, p: int = 0) -> int:
+    """Reconstruct the full value from its low bits.
+
+    Returns the unique ``v`` in ``[v_ref - p, v_ref - p + 2^k - 1]``
+    with ``v & (2^k - 1) == lsbs``.
+    """
+    if k <= 0:
+        raise ValueError("k must be positive")
+    window = 1 << k
+    if not 0 <= lsbs < window:
+        raise ValueError(f"lsbs {lsbs} out of range for k={k}")
+    low = v_ref - p
+    candidate = low + ((lsbs - low) % window)
+    return candidate
+
+
+def interpretation_interval(k: int, v_ref: int, p: int = 0):
+    """The (inclusive) range of values decodable against ``v_ref``."""
+    low = v_ref - p
+    return low, low + (1 << k) - 1

@@ -1,0 +1,142 @@
+"""Discrete-event simulation engine.
+
+A minimal but complete event scheduler: events are ``(time, priority,
+sequence, callback)`` tuples kept in a binary heap.  Ties on time are
+broken first by an explicit priority (lower runs first) and then by
+insertion order, which makes runs fully deterministic.
+
+Events can be cancelled; cancellation is O(1) (the heap entry is marked
+dead and skipped when popped), which matters because the MAC layer
+cancels timers constantly (ACK timeouts, backoff slot timers).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional
+
+from .units import SEC
+
+
+class Event:
+    """A scheduled callback.  Returned by :meth:`Simulator.schedule`.
+
+    Use :meth:`cancel` to prevent a pending event from firing.  Attributes
+    are read-only from the caller's perspective.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: int, priority: int, seq: int,
+                 callback: Callable[..., Any], args: tuple):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark this event dead; it will be skipped by the main loop."""
+        self.cancelled = True
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event t={self.time} prio={self.priority} {state}>"
+
+
+class Simulator:
+    """The event loop.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.schedule(usec(10), lambda: print("hello"))
+        sim.run(until=sec(1))
+    """
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Event] = []
+        self._seq: int = 0
+        self._running = False
+        self._stopped = False
+
+    # ------------------------------------------------------------------
+    # Scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: int, callback: Callable[..., Any],
+                 *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` to run ``delay`` ns from now."""
+        if delay < 0:
+            raise ValueError(f"negative delay {delay}")
+        return self.schedule_at(self.now + delay, callback, *args,
+                                priority=priority)
+
+    def schedule_at(self, time: int, callback: Callable[..., Any],
+                    *args: Any, priority: int = 0) -> Event:
+        """Schedule ``callback(*args)`` at an absolute timestamp."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule in the past: {time} < now {self.now}")
+        self._seq += 1
+        event = Event(time, priority, self._seq, callback, args)
+        heapq.heappush(self._heap, event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Running
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None,
+            max_events: Optional[int] = None) -> int:
+        """Run events until the heap drains, ``until`` is reached, or
+        ``max_events`` have executed.  Returns the number of events run.
+
+        ``until`` is exclusive: an event at exactly ``until`` does not run,
+        and ``now`` is advanced to ``until`` when the horizon is hit.
+        """
+        if until is None:
+            until = 365 * 24 * 3600 * SEC  # effectively forever
+        executed = 0
+        self._running = True
+        self._stopped = False
+        try:
+            while self._heap:
+                if self._stopped:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                event = self._heap[0]
+                if event.cancelled:
+                    heapq.heappop(self._heap)
+                    continue
+                if event.time >= until:
+                    self.now = until
+                    break
+                heapq.heappop(self._heap)
+                self.now = event.time
+                event.callback(*event.args)
+                executed += 1
+            else:
+                # Heap drained; advance the clock to the horizon if finite.
+                if until < 365 * 24 * 3600 * SEC:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+        return executed
+
+    def stop(self) -> None:
+        """Request the run loop to stop after the current event."""
+        self._stopped = True
+
+    @property
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still queued."""
+        return sum(1 for e in self._heap if not e.cancelled)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator now={self.now} pending={len(self._heap)}>"

@@ -1,0 +1,158 @@
+"""The shared wireless medium.
+
+Models a single collision domain: every station hears every other
+station (the paper simulates clients within a 10 m circle around the AP
+and states there are no hidden terminals).  Consequences:
+
+* Carrier sense is global — the channel is busy for everyone whenever
+  at least one transmission is in flight.
+* Two transmissions that overlap in time corrupt each other (a
+  collision); every receiver sees garbage for both frames.
+* Independent per-receiver losses (low SNR) are applied by a pluggable
+  :class:`~repro.phy.errors.LossModel` on top of collision corruption.
+
+Frames are opaque to the medium except for their ``duration_ns``, which
+the sender computes from the PHY rate tables.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, List, Optional
+
+from .engine import Simulator
+
+
+class Transmission:
+    """One frame in flight on the medium."""
+
+    __slots__ = ("sender", "frame", "start", "end", "collided")
+
+    def __init__(self, sender: Any, frame: Any, start: int, end: int):
+        self.sender = sender
+        self.frame = frame
+        self.start = start
+        self.end = end
+        self.collided = False
+
+    @property
+    def duration(self) -> int:
+        return self.end - self.start
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Tx {self.frame!r} {self.start}..{self.end}"
+                f"{' COLLIDED' if self.collided else ''}>")
+
+
+class MediumListener:
+    """Interface stations implement to hear the medium.
+
+    Subclasses override what they need; defaults are no-ops so simple
+    test doubles stay short.
+    """
+
+    def on_channel_busy(self, now: int) -> None:
+        """The medium transitioned idle -> busy."""
+
+    def on_channel_idle(self, now: int) -> None:
+        """The medium transitioned busy -> idle."""
+
+    def on_frame_received(self, frame: Any, sender: Any) -> None:
+        """A frame addressed to anyone arrived intact at this station."""
+
+    def on_frame_error(self, frame: Any, sender: Any) -> None:
+        """A frame arrived but was corrupted (collision or channel loss)."""
+
+
+class Medium:
+    """Single-channel broadcast medium with collisions and carrier sense."""
+
+    def __init__(self, sim: Simulator, loss_model: Optional[Any] = None):
+        self.sim = sim
+        self.loss_model = loss_model
+        self.listeners: List[MediumListener] = []
+        self._active: List[Transmission] = []
+        #: Cumulative ns the channel has spent busy (for utilisation stats).
+        self.busy_time: int = 0
+        self._busy_since: Optional[int] = None
+        #: Total frames offered / collided (for stats).
+        self.frames_sent = 0
+        self.frames_collided = 0
+        #: Optional observers called with each completed Transmission.
+        self.observers: List[Callable[[Transmission], None]] = []
+
+    # ------------------------------------------------------------------
+    def attach(self, listener: MediumListener) -> None:
+        """Register a station; it will hear busy/idle and frame events."""
+        self.listeners.append(listener)
+
+    @property
+    def busy(self) -> bool:
+        """True while any transmission is in flight."""
+        return bool(self._active)
+
+    # ------------------------------------------------------------------
+    def transmit(self, sender: Any, frame: Any, duration: int) -> Transmission:
+        """Begin transmitting ``frame`` for ``duration`` ns.
+
+        The sender must have already honoured carrier sense; the medium
+        does not police that (it is the DCF's job), but overlapping
+        transmissions are faithfully collided.
+        """
+        if duration <= 0:
+            raise ValueError("transmission duration must be positive")
+        now = self.sim.now
+        tx = Transmission(sender, frame, now, now + duration)
+        was_idle = not self._active
+        if self._active:
+            # Collision: every concurrently in-flight frame is corrupted.
+            tx.collided = True
+            for other in self._active:
+                if not other.collided:
+                    other.collided = True
+                    self.frames_collided += 1
+            self.frames_collided += 1
+        self._active.append(tx)
+        self.frames_sent += 1
+        if was_idle:
+            self._busy_since = now
+            for listener in self.listeners:
+                listener.on_channel_busy(now)
+        self.sim.schedule(duration, self._transmission_ends, tx, priority=-1)
+        return tx
+
+    # ------------------------------------------------------------------
+    def _transmission_ends(self, tx: Transmission) -> None:
+        self._active.remove(tx)
+        now = self.sim.now
+        # Idle notification precedes frame delivery so that stations'
+        # idle-time bookkeeping is fresh when delivery callbacks decide
+        # to resume contention at this same instant.
+        if not self._active:
+            assert self._busy_since is not None
+            self.busy_time += now - self._busy_since
+            self._busy_since = None
+            for listener in self.listeners:
+                listener.on_channel_idle(now)
+        # Deliver to every station except the sender.
+        for listener in self.listeners:
+            if listener is tx.sender:
+                continue
+            if tx.collided:
+                listener.on_frame_error(tx.frame, tx.sender)
+            elif self.loss_model is not None and self.loss_model.is_lost(
+                    tx.sender, listener, tx.frame):
+                listener.on_frame_error(tx.frame, tx.sender)
+            else:
+                listener.on_frame_received(tx.frame, tx.sender)
+        for observer in self.observers:
+            observer(tx)
+
+    def utilisation(self, elapsed: Optional[int] = None) -> float:
+        """Fraction of time the channel was busy."""
+        total = elapsed if elapsed is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        busy = self.busy_time
+        if self._busy_since is not None:
+            busy += self.sim.now - self._busy_since
+        return busy / total

@@ -1,0 +1,104 @@
+"""Point-to-point wired links (the server <-> AP backhaul).
+
+The paper's simulated topology attaches the TCP server to the AP over a
+500 Mbit/s wired link with 1 ms one-way latency.  We model a full-duplex
+link as two independent unidirectional pipes, each a FIFO with a
+serialisation rate, propagation delay and a drop-tail packet-count
+bound.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Optional, Tuple
+
+from .engine import Simulator
+from .units import transmission_time_ns
+
+
+class WiredPipe:
+    """One direction of a wired link.
+
+    ``deliver`` is called with each packet after serialisation plus
+    propagation delay.  Packets must expose ``byte_length``.
+    """
+
+    def __init__(self, sim: Simulator, rate_mbps: float, delay_ns: int,
+                 deliver: Callable[[Any], None],
+                 queue_limit: Optional[int] = None):
+        if rate_mbps <= 0:
+            raise ValueError("rate must be positive")
+        if delay_ns < 0:
+            raise ValueError("delay must be non-negative")
+        self.sim = sim
+        self.rate_mbps = rate_mbps
+        self.delay_ns = delay_ns
+        self.deliver = deliver
+        self.queue_limit = queue_limit
+        self._queue: Deque[Any] = deque()
+        self._transmitting = False
+        #: Stats
+        self.packets_sent = 0
+        self.packets_dropped = 0
+        self.bytes_sent = 0
+
+    def send(self, packet: Any) -> bool:
+        """Enqueue a packet; returns False (and drops) if the queue is full."""
+        if (self.queue_limit is not None
+                and len(self._queue) >= self.queue_limit):
+            self.packets_dropped += 1
+            return False
+        self._queue.append(packet)
+        if not self._transmitting:
+            self._start_next()
+        return True
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    def _start_next(self) -> None:
+        if not self._queue:
+            self._transmitting = False
+            return
+        self._transmitting = True
+        packet = self._queue.popleft()
+        tx_time = transmission_time_ns(packet.byte_length, self.rate_mbps)
+        self.sim.schedule(tx_time, self._serialised, packet)
+
+    def _serialised(self, packet: Any) -> None:
+        self.packets_sent += 1
+        self.bytes_sent += packet.byte_length
+        self.sim.schedule(self.delay_ns, self.deliver, packet)
+        self._start_next()
+
+
+class WiredLink:
+    """A full-duplex link between two endpoints.
+
+    Endpoints are objects with a ``receive_wired(packet)`` method; use
+    :meth:`endpoint_a` / :meth:`endpoint_b` handles to send.
+    """
+
+    def __init__(self, sim: Simulator, a: Any, b: Any, rate_mbps: float,
+                 delay_ns: int, queue_limit: Optional[int] = None):
+        self.a = a
+        self.b = b
+        self._a_to_b = WiredPipe(sim, rate_mbps, delay_ns,
+                                 lambda pkt: b.receive_wired(pkt),
+                                 queue_limit)
+        self._b_to_a = WiredPipe(sim, rate_mbps, delay_ns,
+                                 lambda pkt: a.receive_wired(pkt),
+                                 queue_limit)
+
+    def send_from(self, endpoint: Any, packet: Any) -> bool:
+        """Send ``packet`` from one of the two attached endpoints."""
+        if endpoint is self.a:
+            return self._a_to_b.send(packet)
+        if endpoint is self.b:
+            return self._b_to_a.send(packet)
+        raise ValueError("endpoint is not attached to this link")
+
+    def pipes(self) -> Tuple[WiredPipe, WiredPipe]:
+        """(a->b pipe, b->a pipe), mainly for stats inspection."""
+        return self._a_to_b, self._b_to_a

@@ -1,0 +1,8 @@
+"""Measurement collectors: MAC stats, tracing, fairness metrics."""
+
+from .collectors import MacStats
+from .fairness import airtime_shares, goodput_fairness, jain_index
+from .trace import MediumTracer, TraceRecord
+
+__all__ = ["MacStats", "MediumTracer", "TraceRecord", "jain_index",
+           "airtime_shares", "goodput_fairness"]

@@ -1,0 +1,148 @@
+"""Measurement collectors.
+
+:class:`MacStats` receives fine-grained callbacks from every
+:class:`~repro.mac.dcf.DcfMac` that shares it, and accumulates exactly
+the quantities the paper's tables report:
+
+* **Table 1** — per-destination counts of data MPDUs delivered on the
+  first attempt vs. after one or more link-layer retries.
+* **Table 3** — a time breakdown attributable to TCP ACKs: airtime of
+  vanilla TCP ACK frames, extra LL-ACK airtime due to appended ROHC
+  payloads, channel-acquisition waiting time, and the LL ACK + SIFS
+  overhead elicited by TCP ACK frames.
+* **§3.3.2 footnote** — the fraction of HACK-augmented LL ACKs whose
+  appended payload airtime fits within AIFS.
+
+Packet kinds are taken from payload ``kind`` attributes
+(``tcp_data`` / ``tcp_ack`` / ``udp``).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Any, Dict
+
+
+class MacStats:
+    """Shared accumulator for MAC-level events (one per simulation)."""
+
+    def __init__(self) -> None:
+        # Airtime + acquisition accounting, keyed by payload kind.
+        self.airtime_ns: Dict[str, int] = defaultdict(int)
+        self.acquisition_wait_ns: Dict[str, int] = defaultdict(int)
+        self.tx_attempts: Dict[str, int] = defaultdict(int)
+        self.exchange_failures: Dict[str, int] = defaultdict(int)
+        self.exchange_successes: Dict[str, int] = defaultdict(int)
+
+        # Per-destination delivery outcomes (Table 1).
+        self.delivered_first_attempt: Dict[str, int] = defaultdict(int)
+        self.delivered_after_retry: Dict[str, int] = defaultdict(int)
+        self.mpdus_dropped: Dict[str, int] = defaultdict(int)
+        self.mpdus_corrupted: Dict[str, int] = defaultdict(int)
+
+        # LL ACK / response accounting (Table 3).
+        self.ll_response_airtime_ns: Dict[str, int] = defaultdict(int)
+        self.ll_response_overhead_ns: Dict[str, int] = defaultdict(int)
+        self.ll_responses: Dict[str, int] = defaultdict(int)
+        self.hack_extra_airtime_ns = 0
+        self.hack_responses = 0
+        self.hack_fits_aifs = 0
+        self.hack_payload_bytes = 0
+
+        self.bar_give_ups = 0
+
+    # ------------------------------------------------------------------
+    # Hooks called by DcfMac
+    # ------------------------------------------------------------------
+    def on_tx_start(self, addr: str, job: Any, frame: Any,
+                    duration: int, wait_ns: int) -> None:
+        kind = "bar" if job.kind == "bar" else job.stat_kind
+        self.airtime_ns[kind] += duration
+        self.acquisition_wait_ns[kind] += wait_ns
+        self.tx_attempts[kind] += 1
+
+    def on_exchange_failed(self, addr: str, job: Any) -> None:
+        kind = "bar" if job.kind == "bar" else job.stat_kind
+        self.exchange_failures[kind] += 1
+
+    def on_exchange_succeeded(self, addr: str, job: Any) -> None:
+        kind = "bar" if job.kind == "bar" else job.stat_kind
+        self.exchange_successes[kind] += 1
+
+    def on_mpdu_delivered(self, addr: str, mpdu: Any) -> None:
+        if mpdu.retry_count == 0:
+            self.delivered_first_attempt[mpdu.dst] += 1
+        else:
+            self.delivered_after_retry[mpdu.dst] += 1
+
+    def on_mpdu_dropped(self, addr: str, mpdu: Any) -> None:
+        self.mpdus_dropped[mpdu.dst] += 1
+
+    def on_mpdu_corrupted(self, addr: str, mpdu: Any) -> None:
+        self.mpdus_corrupted[addr] += 1
+
+    def on_bar_give_up(self, addr: str, dst: str) -> None:
+        self.bar_give_ups += 1
+
+    def on_ll_response(self, addr: str, response: Any, duration: int,
+                       stock_duration: int, elicited_by: Any, phy: Any,
+                       extra_delay: int) -> None:
+        kind = self._elicited_kind(elicited_by)
+        self.ll_response_airtime_ns[kind] += duration
+        # Total response overhead the eliciting sender experiences:
+        # SIFS + (device lateness) + ACK airtime.
+        self.ll_response_overhead_ns[kind] += (
+            phy.sifs_ns + extra_delay + duration)
+        self.ll_responses[kind] += 1
+        extra = duration - stock_duration
+        if extra > 0:
+            self.hack_extra_airtime_ns += extra
+            self.hack_responses += 1
+            self.hack_payload_bytes += (
+                len(response.hack_payload) if response.hack_payload else 0)
+            if extra <= phy.difs_ns:
+                self.hack_fits_aifs += 1
+
+    @staticmethod
+    def _elicited_kind(frame: Any) -> str:
+        mpdus = getattr(frame, "mpdus", None)
+        if not mpdus:
+            return "bar"
+        return getattr(mpdus[0].payload, "kind", "data")
+
+    # ------------------------------------------------------------------
+    # Report helpers
+    # ------------------------------------------------------------------
+    def retry_table(self) -> Dict[str, Dict[str, float]]:
+        """Table 1: per destination, fraction delivered with no retries
+        vs. one-or-more retries."""
+        table: Dict[str, Dict[str, float]] = {}
+        dsts = set(self.delivered_first_attempt) | \
+            set(self.delivered_after_retry)
+        for dst in sorted(dsts, key=str):
+            first = self.delivered_first_attempt[dst]
+            retried = self.delivered_after_retry[dst]
+            total = first + retried
+            if total == 0:
+                continue
+            table[dst] = {
+                "no_retries": first / total,
+                "one_or_more": retried / total,
+                "total": total,
+            }
+        return table
+
+    def hack_fit_fraction(self) -> float:
+        """§3.3.2: fraction of augmented LL ACKs fitting within AIFS."""
+        if self.hack_responses == 0:
+            return 1.0
+        return self.hack_fits_aifs / self.hack_responses
+
+    def time_breakdown_ms(self) -> Dict[str, float]:
+        """Table 3 rows, in milliseconds."""
+        return {
+            "tcp_ack_airtime": self.airtime_ns["tcp_ack"] / 1e6,
+            "rohc_airtime": self.hack_extra_airtime_ns / 1e6,
+            "channel_acquisition": self.acquisition_wait_ns["tcp_ack"] / 1e6,
+            "ll_ack_overhead": self.ll_response_overhead_ns["tcp_ack"] / 1e6,
+        }

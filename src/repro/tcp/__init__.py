@@ -1,0 +1,9 @@
+"""Packet-level TCP: segments, NewReno sender, delayed-ACK receiver."""
+
+from .flow import FlowStats, TcpFlow
+from .receiver import TcpReceiver
+from .segment import FiveTuple, TcpSegment, UdpDatagram
+from .sender import TcpSender
+
+__all__ = ["TcpSegment", "UdpDatagram", "FiveTuple", "TcpSender",
+           "TcpReceiver", "TcpFlow", "FlowStats"]

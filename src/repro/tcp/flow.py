@@ -1,0 +1,67 @@
+"""Flow bookkeeping: pairs a sender and receiver and records goodput.
+
+Goodput is measured the way the paper does for Fig 10: over a
+steady-state window (after warm-up, so slow-start transients and
+staggered starts don't pollute the average).  :class:`FlowStats`
+snapshots cumulative in-order delivered bytes at arbitrary times, and
+experiments difference two snapshots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.units import throughput_mbps
+from .receiver import TcpReceiver
+from .sender import TcpSender
+
+
+@dataclass
+class FlowStats:
+    """Time-stamped snapshots of a flow's delivered bytes."""
+
+    snapshots: List[Tuple[int, int]] = field(default_factory=list)
+
+    def record(self, now: int, bytes_delivered: int) -> None:
+        self.snapshots.append((now, bytes_delivered))
+
+    def goodput_mbps(self, t_start: Optional[int] = None,
+                     t_end: Optional[int] = None) -> float:
+        """Goodput between two snapshot times (nearest snapshots used)."""
+        if len(self.snapshots) < 2:
+            return 0.0
+        first = self._nearest(t_start) if t_start is not None \
+            else self.snapshots[0]
+        last = self._nearest(t_end) if t_end is not None \
+            else self.snapshots[-1]
+        duration = last[0] - first[0]
+        return throughput_mbps(last[1] - first[1], duration)
+
+    def _nearest(self, t: int) -> Tuple[int, int]:
+        return min(self.snapshots, key=lambda snap: abs(snap[0] - t))
+
+
+class TcpFlow:
+    """A unidirectional TCP transfer between two nodes."""
+
+    def __init__(self, flow_id: int, sender: TcpSender,
+                 receiver: TcpReceiver):
+        self.flow_id = flow_id
+        self.sender = sender
+        self.receiver = receiver
+        self.stats = FlowStats()
+        self.started_at: Optional[int] = None
+        self.completed_at: Optional[int] = None
+
+    def snapshot(self, now: int) -> None:
+        self.stats.record(now, self.receiver.bytes_delivered)
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.receiver.bytes_delivered
+
+    def completion_time_ns(self) -> Optional[int]:
+        if self.started_at is None or self.completed_at is None:
+            return None
+        return self.completed_at - self.started_at

@@ -1,0 +1,151 @@
+"""TCP receiver with delayed ACKs.
+
+Generates one ACK for every second in-order segment (plus a fallback
+delayed-ACK timer), immediate duplicate ACKs for out-of-order arrivals,
+and an immediate ACK when a hole fills — the RFC 5681 behaviours whose
+ACK stream HACK compresses.
+
+The receiver tolerates reordering (the simulator's MAC delivers MPDUs
+as they decode; see DESIGN.md) via a standard out-of-order queue, and
+can optionally generate SACK blocks so the ROHC encoder's SACK support
+is exercised end-to-end.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..sim.units import MS
+from .segment import FiveTuple, TcpSegment
+
+
+class TcpReceiver:
+    """One direction of a TCP connection (the data sink)."""
+
+    def __init__(self, sim: Simulator, flow_id: int, src: str, dst: str,
+                 output: Callable[[TcpSegment], None],
+                 rwnd_bytes: int = 4 * 1024 * 1024,
+                 delayed_ack: bool = True,
+                 delack_timeout_ns: int = 100 * MS,
+                 generate_sack: bool = False,
+                 five_tuple: Optional[FiveTuple] = None,
+                 on_deliver: Optional[Callable[[int], None]] = None):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src = src          # this endpoint (the ACK source)
+        self.dst = dst          # the data sender
+        self.output = output
+        self.rwnd_bytes = rwnd_bytes
+        self.delayed_ack = delayed_ack
+        self.delack_timeout_ns = delack_timeout_ns
+        self.generate_sack = generate_sack
+        self.five_tuple = five_tuple or FiveTuple(src, dst, 80, 5001)
+        self.on_deliver = on_deliver
+
+        self.rcv_nxt = 0
+        self._ooo: Dict[int, int] = {}     # seq -> length
+        self._pending_ack_segments = 0
+        self._delack_event = None
+        self._last_ts_val = 0
+
+        # Counters.
+        self.bytes_delivered = 0
+        self.acks_sent = 0
+        self.dup_acks_sent = 0
+        self.segments_received = 0
+        self.duplicates_received = 0
+
+    # ------------------------------------------------------------------
+    def on_segment(self, segment: TcpSegment) -> None:
+        """Process an arriving data segment."""
+        self.segments_received += 1
+        if segment.end_seq <= self.rcv_nxt:
+            # Entirely old: duplicate — re-ACK immediately.
+            self.duplicates_received += 1
+            self._send_ack(immediate=True)
+            return
+        self._last_ts_val = segment.ts_val
+        if segment.seq > self.rcv_nxt:
+            # Out of order: queue the hole-side data, dup-ACK now.
+            self._ooo[segment.seq] = max(
+                self._ooo.get(segment.seq, 0), segment.payload_bytes)
+            self.dup_acks_sent += 1
+            self._send_ack(immediate=True)
+            return
+        # In order (possibly partially old): advance.
+        had_hole = bool(self._ooo)
+        advanced = segment.end_seq - self.rcv_nxt
+        self.rcv_nxt = segment.end_seq
+        self._drain_ooo()
+        self._deliver(advanced)
+        if had_hole:
+            # Filling (part of) a hole: ACK immediately so the sender's
+            # fast recovery sees the partial/full ACK without delay.
+            self._send_ack(immediate=True)
+            return
+        self._pending_ack_segments += 1
+        if not self.delayed_ack or self._pending_ack_segments >= 2:
+            self._send_ack(immediate=True)
+        else:
+            self._arm_delack()
+
+    def _drain_ooo(self) -> None:
+        moved = 0
+        while self.rcv_nxt in self._ooo:
+            length = self._ooo.pop(self.rcv_nxt)
+            self.rcv_nxt += length
+            moved += length
+        if moved:
+            self._deliver(moved)
+        # Discard any queued segments now wholly below rcv_nxt.
+        stale = [s for s in self._ooo if s + self._ooo[s] <= self.rcv_nxt]
+        for s in stale:
+            del self._ooo[s]
+
+    def _deliver(self, nbytes: int) -> None:
+        if nbytes <= 0:
+            return
+        self.bytes_delivered += nbytes
+        if self.on_deliver is not None:
+            self.on_deliver(nbytes)
+
+    # ------------------------------------------------------------------
+    # ACK generation
+    # ------------------------------------------------------------------
+    def _sack_blocks(self) -> Tuple[Tuple[int, int], ...]:
+        if not self.generate_sack or not self._ooo:
+            return ()
+        blocks: List[Tuple[int, int]] = []
+        for seq in sorted(self._ooo):
+            end = seq + self._ooo[seq]
+            if blocks and seq <= blocks[-1][1]:
+                blocks[-1] = (blocks[-1][0], max(blocks[-1][1], end))
+            else:
+                blocks.append((seq, end))
+        return tuple(blocks[:3])
+
+    def _send_ack(self, immediate: bool = False) -> None:
+        self._pending_ack_segments = 0
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        ack = TcpSegment(
+            flow_id=self.flow_id, src=self.src, dst=self.dst,
+            seq=0, payload_bytes=0, ack=self.rcv_nxt,
+            rwnd=self.rwnd_bytes,
+            ts_val=self.sim.now // MS, ts_ecr=self._last_ts_val,
+            sack_blocks=self._sack_blocks(),
+            five_tuple=self.five_tuple)
+        self.acks_sent += 1
+        self.output(ack)
+
+    def _arm_delack(self) -> None:
+        if self._delack_event is None:
+            self._delack_event = self.sim.schedule(
+                self.delack_timeout_ns, self._delack_fires)
+
+    def _delack_fires(self) -> None:
+        self._delack_event = None
+        if self._pending_ack_segments > 0:
+            self._send_ack()

@@ -1,0 +1,109 @@
+"""TCP segment model.
+
+Segments are packet-level: payload is represented by its length only
+(the simulator never materialises file contents).  Header sizes follow
+the paper's setup: 20-byte IP header, 20-byte TCP header, and a 12-byte
+timestamp option (RFC 7323 layout including padding), giving the 52
+header bytes per ACK that Table 2's byte counts imply (9060 ACKs =
+471 120 bytes).
+
+Timestamps are in **milliseconds** of simulation time, matching common
+OS tick granularity; this is what makes consecutive ACKs' timestamp
+deltas tiny and ROHC-compressible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+IP_HEADER_BYTES = 20
+TCP_HEADER_BYTES = 20
+TIMESTAMP_OPTION_BYTES = 12
+#: SACK option: 2 bytes kind/len + 8 per block, padded to 4.
+SACK_BLOCK_BYTES = 8
+SACK_BASE_BYTES = 4
+
+
+@dataclass
+class FiveTuple:
+    """Connection identity (protocol implied TCP)."""
+
+    src_ip: str
+    dst_ip: str
+    src_port: int
+    dst_port: int
+
+    def key(self) -> Tuple[str, str, int, int]:
+        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+
+    def reversed(self) -> "FiveTuple":
+        return FiveTuple(self.dst_ip, self.src_ip,
+                         self.dst_port, self.src_port)
+
+
+@dataclass
+class TcpSegment:
+    """One TCP/IP packet (data or ACK)."""
+
+    flow_id: int
+    src: str              # node name (wifi/wired routing)
+    dst: str
+    seq: int              # first payload byte's stream offset
+    payload_bytes: int
+    ack: int              # cumulative ACK number
+    rwnd: int             # advertised receive window (bytes)
+    ts_val: int = 0       # sender's timestamp (ms)
+    ts_ecr: int = 0       # echoed timestamp (ms)
+    sack_blocks: Tuple[Tuple[int, int], ...] = ()
+    five_tuple: FiveTuple = field(
+        default_factory=lambda: FiveTuple("0.0.0.0", "0.0.0.0", 0, 0))
+
+    @property
+    def header_bytes(self) -> int:
+        options = TIMESTAMP_OPTION_BYTES
+        if self.sack_blocks:
+            options += SACK_BASE_BYTES + \
+                SACK_BLOCK_BYTES * len(self.sack_blocks)
+        return IP_HEADER_BYTES + TCP_HEADER_BYTES + options
+
+    @property
+    def byte_length(self) -> int:
+        return self.header_bytes + self.payload_bytes
+
+    @property
+    def is_pure_ack(self) -> bool:
+        return self.payload_bytes == 0
+
+    @property
+    def end_seq(self) -> int:
+        return self.seq + self.payload_bytes
+
+    @property
+    def kind(self) -> str:
+        """Stats classification used throughout the MAC layer."""
+        return "tcp_ack" if self.is_pure_ack else "tcp_data"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if self.is_pure_ack:
+            return f"<ACK f{self.flow_id} ack={self.ack}>"
+        return (f"<DATA f{self.flow_id} seq={self.seq}"
+                f"+{self.payload_bytes}>")
+
+
+@dataclass
+class UdpDatagram:
+    """A UDP packet (payload length only)."""
+
+    src: str
+    dst: str
+    payload_bytes: int
+    seq: int = 0
+
+    @property
+    def byte_length(self) -> int:
+        return IP_HEADER_BYTES + 8 + self.payload_bytes
+
+    @property
+    def kind(self) -> str:
+        return "udp"

@@ -1,0 +1,383 @@
+"""NewReno TCP sender.
+
+Implements the congestion-control dynamics the paper's results depend
+on: slow start, congestion avoidance, fast retransmit / fast recovery
+with NewReno partial-ACK handling, and an RFC 6298 retransmission timer
+with exponential backoff.  RTT is sampled from the timestamp option
+(valid for retransmitted segments too, per RFC 7323).
+
+The pathology the paper's §3.2 revolves around — a whole congestion
+window delivered in one A-MPDU, all resulting TCP ACKs withheld at the
+client, and the connection stalling until this RTO fires — emerges
+naturally from this implementation; the ``timeouts`` counter is how
+experiments detect it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from ..sim.engine import Simulator
+from ..sim.units import MS, SEC
+from .segment import FiveTuple, TcpSegment
+
+
+class TcpSender:
+    """One direction of a TCP connection (the data source)."""
+
+    def __init__(self, sim: Simulator, flow_id: int, src: str, dst: str,
+                 output: Callable[[TcpSegment], None],
+                 total_bytes: Optional[int] = None,
+                 mss: int = 1460,
+                 initial_cwnd_segments: int = 2,
+                 initial_ssthresh_bytes: int = 65_535,
+                 min_rto_ns: int = 200 * MS,
+                 max_rto_ns: int = 60 * SEC,
+                 use_sack: bool = False,
+                 five_tuple: Optional[FiveTuple] = None,
+                 on_complete: Optional[Callable[[], None]] = None):
+        self.sim = sim
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.output = output
+        self.total_bytes = total_bytes
+        self.mss = mss
+        self.min_rto_ns = min_rto_ns
+        self.max_rto_ns = max_rto_ns
+        self.on_complete = on_complete
+        self.five_tuple = five_tuple or FiveTuple(src, dst, 5001, 80)
+
+        # Connection state (sequence space in bytes, starting at 0).
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.cwnd = initial_cwnd_segments * mss
+        # A conservative initial ssthresh (the classic 64 KiB default,
+        # as in ns-3-era stacks) keeps slow start from overshooting the
+        # AP queue with a burst NewReno-without-SACK cannot repair.
+        self.ssthresh = initial_ssthresh_bytes
+        self.peer_rwnd = 1 << 30
+        self._ca_acked_bytes = 0  # congestion-avoidance accumulator
+
+        # Fast-retransmit / NewReno recovery state.
+        self.dup_acks = 0
+        self.in_recovery = False
+        self.recover = 0
+
+        # SACK recovery state (simplified RFC 6675): a scoreboard of
+        # disjoint SACKed ranges above snd_una, plus the set of holes
+        # already retransmitted this recovery episode.
+        self.use_sack = use_sack
+        self._sack_scoreboard: list = []
+        self._sack_retransmitted: set = set()
+
+        # RFC 7323 timestamp echo: the most recent ts_val received from
+        # the peer, reflected in every outgoing segment's ts_ecr.  The
+        # paper's §5 timestamp-echo mechanism relies on this.
+        self._peer_ts_val = 0
+
+        # RTO state (RFC 6298).
+        self.srtt_ns: Optional[int] = None
+        self.rttvar_ns: Optional[int] = None
+        self.rto_ns = 1 * SEC
+        self._rto_event = None
+        self._backoff = 1
+
+        # Counters.
+        self.segments_sent = 0
+        self.retransmits = 0
+        self.timeouts = 0
+        self.fast_retransmits = 0
+        self.completed = False
+        self.started = False
+
+    # ------------------------------------------------------------------
+    @property
+    def flight_size(self) -> int:
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def effective_window(self) -> int:
+        return min(self.cwnd, self.peer_rwnd)
+
+    def _has_data_at(self, seq: int) -> bool:
+        if self.total_bytes is None:
+            return True
+        return seq < self.total_bytes
+
+    def _segment_length(self, seq: int) -> int:
+        if self.total_bytes is None:
+            return self.mss
+        return min(self.mss, self.total_bytes - seq)
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Begin transmitting (connection assumed established)."""
+        self.started = True
+        self._try_send()
+
+    def _try_send(self) -> None:
+        while self._has_data_at(self.snd_nxt):
+            if self.use_sack and self.in_recovery:
+                # Pipe-based sending (RFC 6675): SACKed bytes have left
+                # the network and free window for new data.
+                in_pipe = self._sack_pipe()
+            else:
+                in_pipe = self.flight_size
+            if in_pipe + self.mss > self.effective_window:
+                break
+            length = self._segment_length(self.snd_nxt)
+            if length <= 0:
+                break
+            self._emit(self.snd_nxt, length)
+            self.snd_nxt += length
+        if self.flight_size > 0 and self._rto_event is None:
+            self._arm_rto()
+
+    def _emit(self, seq: int, length: int) -> None:
+        segment = TcpSegment(
+            flow_id=self.flow_id, src=self.src, dst=self.dst,
+            seq=seq, payload_bytes=length, ack=0,
+            rwnd=0, ts_val=self.sim.now // MS,
+            ts_ecr=self._peer_ts_val,
+            five_tuple=self.five_tuple)
+        self.segments_sent += 1
+        self.output(segment)
+
+    # ------------------------------------------------------------------
+    # ACK processing
+    # ------------------------------------------------------------------
+    def on_ack(self, ack_segment: TcpSegment) -> None:
+        if self.completed:
+            return
+        if ack_segment.ts_val > self._peer_ts_val:
+            self._peer_ts_val = ack_segment.ts_val
+        self.peer_rwnd = ack_segment.rwnd or self.peer_rwnd
+        if self.use_sack and ack_segment.sack_blocks:
+            self._register_sack(ack_segment.sack_blocks)
+        ack = ack_segment.ack
+        if ack > self.snd_una:
+            self._on_new_ack(ack, ack_segment)
+        elif ack == self.snd_una and self.flight_size > 0:
+            self._on_dup_ack()
+        # Older ACKs (reordered) are ignored.
+        if self.use_sack and self.in_recovery:
+            self._sack_retransmit_holes()
+        self._try_send()
+        self._check_complete()
+
+    # ------------------------------------------------------------------
+    # SACK scoreboard (simplified RFC 6675)
+    # ------------------------------------------------------------------
+    def _register_sack(self, blocks) -> None:
+        ranges = list(self._sack_scoreboard)
+        for start, end in blocks:
+            if end <= self.snd_una:
+                continue
+            ranges.append((max(start, self.snd_una), end))
+        ranges.sort()
+        merged = []
+        for start, end in ranges:
+            if merged and start <= merged[-1][1]:
+                merged[-1] = (merged[-1][0], max(merged[-1][1], end))
+            else:
+                merged.append((start, end))
+        self._sack_scoreboard = merged
+
+    def _prune_sack(self) -> None:
+        self._sack_scoreboard = [
+            (max(start, self.snd_una), end)
+            for start, end in self._sack_scoreboard
+            if end > self.snd_una]
+        self._sack_retransmitted = {
+            seq for seq in self._sack_retransmitted
+            if seq >= self.snd_una}
+
+    def _sacked_bytes(self) -> int:
+        return sum(end - start for start, end in self._sack_scoreboard)
+
+    def _sack_pipe(self) -> int:
+        """Estimate of bytes in the network (RFC 6675 'pipe'):
+        flight, minus SACKed bytes, minus holes presumed lost (un-
+        SACKed sequence below the highest SACK — IsLost), plus
+        retransmissions not themselves SACKed yet."""
+        retx_in_flight = 0
+        for seq in self._sack_retransmitted:
+            if seq < self.snd_una:
+                continue
+            if any(start <= seq < end
+                   for start, end in self._sack_scoreboard):
+                continue
+            retx_in_flight += self.mss
+        lost = sum(length for start, length in self._sack_holes()
+                   if start not in self._sack_retransmitted)
+        return (self.flight_size - self._sacked_bytes() - lost
+                + retx_in_flight)
+
+    def _sack_holes(self):
+        """Un-SACKed gaps between snd_una and the highest SACKed byte,
+        as (start, length) segment-aligned pieces."""
+        holes = []
+        cursor = self.snd_una
+        for start, end in self._sack_scoreboard:
+            while cursor < start:
+                length = min(self.mss, start - cursor)
+                holes.append((cursor, length))
+                cursor += length
+            cursor = max(cursor, end)
+        return holes
+
+    def _sack_retransmit_holes(self) -> None:
+        """Retransmit un-SACKed holes, bounded by cwnd on the pipe.
+
+        Unlike NewReno's one-hole-per-RTT, this repairs multiple losses
+        per round trip — the point of SACK recovery."""
+        pipe = self._sack_pipe()
+        for start, length in self._sack_holes():
+            if start in self._sack_retransmitted:
+                continue
+            if pipe + length > self.cwnd:
+                break
+            self.retransmits += 1
+            self._emit(start, length)
+            self._sack_retransmitted.add(start)
+            pipe += length
+
+    def _on_new_ack(self, ack: int, segment: TcpSegment) -> None:
+        newly_acked = ack - self.snd_una
+        self.snd_una = ack
+        if self.snd_nxt < self.snd_una:
+            self.snd_nxt = self.snd_una
+        self._sample_rtt(segment)
+        self._backoff = 1
+        self.dup_acks = 0
+        if self.use_sack:
+            self._prune_sack()
+
+        if self.in_recovery:
+            if ack >= self.recover:
+                # Full ACK: leave recovery, deflate to ssthresh.
+                self.in_recovery = False
+                self.cwnd = self.ssthresh
+                self._sack_retransmitted.clear()
+            elif not self.use_sack:
+                # Partial ACK (NewReno): retransmit the next hole,
+                # deflate by the amount acked, inflate by one MSS
+                # (RFC 6582).  With SACK the hole loop handles this.
+                self._retransmit_head()
+                self.cwnd = max(self.cwnd - newly_acked + self.mss,
+                                self.mss)
+        else:
+            self._grow_cwnd(newly_acked)
+
+        if self.flight_size > 0:
+            self._arm_rto(reset=True)
+        else:
+            self._cancel_rto()
+
+    def _grow_cwnd(self, newly_acked: int) -> None:
+        if self.cwnd < self.ssthresh:
+            # Slow start: one MSS per ACKed MSS (byte counting).
+            self.cwnd += min(newly_acked, self.mss)
+        else:
+            # Congestion avoidance: one MSS per cwnd of ACKed bytes.
+            self._ca_acked_bytes += newly_acked
+            if self._ca_acked_bytes >= self.cwnd:
+                self._ca_acked_bytes -= self.cwnd
+                self.cwnd += self.mss
+
+    def _on_dup_ack(self) -> None:
+        self.dup_acks += 1
+        if self.in_recovery:
+            if not self.use_sack:
+                # NewReno inflation: each dup ACK signals one segment
+                # has left (SACK tracks this explicitly instead).
+                self.cwnd += self.mss
+            return
+        if self.dup_acks == 3:
+            self._enter_fast_recovery()
+
+    def _enter_fast_recovery(self) -> None:
+        self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
+        self.recover = self.snd_nxt
+        self.in_recovery = True
+        self.fast_retransmits += 1
+        if self.use_sack:
+            # Pipe-based: cwnd pins at ssthresh; holes go out via the
+            # scoreboard loop (no inflation, no blind head retransmit
+            # beyond the first hole).
+            self.cwnd = self.ssthresh
+            self._sack_retransmitted.clear()
+            if not self._sack_scoreboard:
+                self._retransmit_head()
+        else:
+            self.cwnd = self.ssthresh + 3 * self.mss
+            self._retransmit_head()
+        self._arm_rto(reset=True)
+
+    def _retransmit_head(self) -> None:
+        length = self._segment_length(self.snd_una)
+        if length <= 0:
+            return
+        self.retransmits += 1
+        self._emit(self.snd_una, length)
+
+    # ------------------------------------------------------------------
+    # RTT / RTO
+    # ------------------------------------------------------------------
+    def _sample_rtt(self, segment: TcpSegment) -> None:
+        if segment.ts_ecr <= 0:
+            return
+        rtt = self.sim.now - segment.ts_ecr * MS
+        if rtt < 0:
+            return
+        if self.srtt_ns is None:
+            self.srtt_ns = rtt
+            self.rttvar_ns = rtt // 2
+        else:
+            err = abs(self.srtt_ns - rtt)
+            self.rttvar_ns = (3 * self.rttvar_ns + err) // 4
+            self.srtt_ns = (7 * self.srtt_ns + rtt) // 8
+        rto = self.srtt_ns + max(4 * self.rttvar_ns, MS)
+        self.rto_ns = min(max(rto, self.min_rto_ns), self.max_rto_ns)
+
+    def _arm_rto(self, reset: bool = False) -> None:
+        if reset:
+            self._cancel_rto()
+        if self._rto_event is None:
+            self._rto_event = self.sim.schedule(
+                self.rto_ns * self._backoff, self._on_rto)
+
+    def _cancel_rto(self) -> None:
+        if self._rto_event is not None:
+            self._rto_event.cancel()
+            self._rto_event = None
+
+    def _on_rto(self) -> None:
+        self._rto_event = None
+        if self.flight_size == 0 or self.completed:
+            return
+        self.timeouts += 1
+        self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
+        self.cwnd = self.mss
+        self.in_recovery = False
+        self.dup_acks = 0
+        # The scoreboard may be stale after an RTO (the receiver could
+        # have renege'd); go-back-N conservatively discards it.
+        self._sack_scoreboard = []
+        self._sack_retransmitted.clear()
+        self._backoff = min(self._backoff * 2, 64)
+        # Go-back-N: rewind and retransmit from the last ACKed byte.
+        self.snd_nxt = self.snd_una
+        self._retransmit_head()
+        self.snd_nxt = self.snd_una + self._segment_length(self.snd_una)
+        self._arm_rto()
+
+    # ------------------------------------------------------------------
+    def _check_complete(self) -> None:
+        if (not self.completed and self.total_bytes is not None
+                and self.snd_una >= self.total_bytes):
+            self.completed = True
+            self._cancel_rto()
+            if self.on_complete is not None:
+                self.on_complete()

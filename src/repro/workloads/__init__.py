@@ -1,0 +1,7 @@
+"""Workloads and the high-level scenario builder."""
+
+from .scenarios import LossSpec, ScenarioConfig, ScenarioResult, \
+    run_scenario
+
+__all__ = ["ScenarioConfig", "ScenarioResult", "LossSpec",
+           "run_scenario"]

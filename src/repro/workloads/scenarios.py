@@ -1,0 +1,385 @@
+"""Scenario builder: assembles a full simulated WLAN and runs it.
+
+This is the public high-level API most examples, tests and benchmarks
+use.  A :class:`ScenarioConfig` describes the paper's experimental
+setups declaratively (PHY mode, rate, clients, HACK policy, loss
+model, traffic); :func:`run_scenario` wires up the server, wired link,
+AP, clients, drivers and flows, runs the event loop, and returns a
+:class:`ScenarioResult` with goodputs and all collected statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from ..core.driver import HackDriver
+from ..core.policies import HackConfig, HackPolicy
+from ..mac.dcf import DcfMac
+from ..mac.params import MacParams
+from ..mac.rate_control import Aarf
+from ..phy.errors import LossModel, NoLoss, SnrLossModel, UniformLossModel
+from ..phy.params import PHY_11A, PHY_11N, PhyParams
+from ..sim.engine import Simulator
+from ..sim.medium import Medium
+from ..sim.rng import RngRegistry
+from ..sim.units import MS, SEC, msec, sec, throughput_mbps, usec
+from ..sim.wired import WiredLink
+from ..stats.collectors import MacStats
+from ..stats.fairness import goodput_fairness
+from ..stats.trace import MediumTracer
+from ..tcp.flow import TcpFlow
+from ..tcp.receiver import TcpReceiver
+from ..tcp.segment import FiveTuple
+from ..tcp.sender import TcpSender
+from ..nodes.ap import ApNode
+from ..nodes.client import ClientNode
+from ..nodes.server import ServerNode, UdpSource
+
+
+@dataclass
+class LossSpec:
+    """Declarative channel-loss description."""
+
+    kind: str = "none"                 # "none" | "uniform" | "snr"
+    data_loss: float = 0.0             # uniform: per-MPDU probability
+    control_loss: Optional[float] = None
+    per_client: Dict[str, float] = field(default_factory=dict)
+    snr_db: float = 30.0               # snr: channel quality
+    per_client_snr: Dict[str, float] = field(default_factory=dict)
+
+    def build(self, rng) -> LossModel:
+        if self.kind == "none":
+            return NoLoss()
+        if self.kind == "uniform":
+            return UniformLossModel(
+                rng, self.data_loss, control_loss=self.control_loss,
+                per_receiver=dict(self.per_client))
+        if self.kind == "snr":
+            return SnrLossModel(
+                rng, self.snr_db,
+                per_receiver_snr=dict(self.per_client_snr))
+        raise ValueError(f"unknown loss kind {self.kind!r}")
+
+
+@dataclass
+class ScenarioConfig:
+    """One experiment's worth of configuration."""
+
+    phy_mode: str = "11n"              # "11a" | "11n"
+    data_rate_mbps: float = 150.0
+    n_clients: int = 1
+    #: Concurrent TCP flows per client (the AP queue scales with this,
+    #: matching the paper's "126 packets per flow" sizing).
+    flows_per_client: int = 1
+    policy: HackPolicy = HackPolicy.VANILLA
+    traffic: str = "tcp_download"      # | "udp_download" | "tcp_upload"
+    seed: int = 1
+    duration_ns: int = 3 * SEC
+    warmup_ns: int = 1 * SEC
+    #: Finite transfer size per flow (None = saturated/unlimited).
+    file_bytes: Optional[int] = None
+    udp_rate_mbps: float = 200.0
+    loss: LossSpec = field(default_factory=LossSpec)
+    #: AP transmit-queue bound per client (paper: 126 per flow).
+    ap_queue_per_client: int = 126
+    mss: int = 1460
+    initial_cwnd_segments: int = 2
+    initial_ssthresh_bytes: int = 65_535
+    stack_delay_ns: int = usec(100)
+    delayed_ack: bool = True
+    #: Receiver generates SACK blocks; with ``sack_recovery`` the
+    #: sender also uses them (simplified RFC 6675).
+    generate_sack: bool = False
+    sack_recovery: bool = False
+    stagger_ns: int = 200 * MS
+    wired_rate_mbps: float = 500.0
+    wired_delay_ns: int = 1 * MS
+    #: Device quirks (SoRa emulation).
+    extra_response_delay_ns: int = 0
+    ack_timeout_extra_ns: int = 0
+    #: HACK knobs.
+    stall_guard_ns: Optional[int] = None
+    explicit_timer_ns: Optional[int] = None
+    init_vanilla_acks: int = 1
+    #: §3.3.2: keep each augmented LL ACK's extra airtime within AIFS
+    #: by splitting the compressed-ACK buffer across responses.
+    hack_split_to_aifs: bool = False
+    #: Override the 4 ms TXOP limit (None keeps the default).
+    txop_limit_ns: Optional[int] = msec(4)
+    #: Force aggregation on/off (default: on for 11n, off for 11a).
+    aggregation: Optional[bool] = None
+    #: Rate adaptation: None = fixed at data_rate_mbps; "aarf" = AARF
+    #: over the PHY's rate ladder, starting at data_rate_mbps.
+    rate_adaptation: Optional[str] = None
+    #: Record a frame-level trace of the whole run (ScenarioResult.trace).
+    trace: bool = False
+    #: Cap on trace records (protects memory on long runs).
+    trace_max_records: Optional[int] = 200_000
+
+    @property
+    def phy(self) -> PhyParams:
+        return PHY_11A if self.phy_mode == "11a" else PHY_11N
+
+    @property
+    def use_aggregation(self) -> bool:
+        if self.aggregation is not None:
+            return self.aggregation
+        return self.phy_mode == "11n"
+
+    def client_names(self) -> List[str]:
+        return [f"C{i + 1}" for i in range(self.n_clients)]
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a benchmark needs to print a paper table/figure row."""
+
+    config: ScenarioConfig
+    per_flow_goodput_mbps: Dict[int, float]
+    mac_stats: MacStats
+    driver_stats: Dict[str, Any]
+    decomp_counters: Dict[str, int]
+    medium_frames_sent: int
+    medium_frames_collided: int
+    medium_utilisation: float
+    flows: List[TcpFlow] = field(default_factory=list)
+    completion_times_ns: Dict[int, Optional[int]] = field(
+        default_factory=dict)
+    sender_counters: Dict[int, Dict[str, int]] = field(
+        default_factory=dict)
+    clients: Dict[str, Any] = field(default_factory=dict)
+    drivers: Dict[str, Any] = field(default_factory=dict)
+    trace: Optional[MediumTracer] = None
+
+    @property
+    def aggregate_goodput_mbps(self) -> float:
+        return sum(self.per_flow_goodput_mbps.values())
+
+    @property
+    def fairness_index(self) -> float:
+        """Jain's index over TCP flows (paper §4.2: 'both are fair')."""
+        return goodput_fairness(self.per_flow_goodput_mbps)
+
+    def summary_dict(self) -> Dict[str, Any]:
+        """JSON-serialisable summary (for saving sweep results)."""
+        return {
+            "config": {
+                "phy_mode": self.config.phy_mode,
+                "data_rate_mbps": self.config.data_rate_mbps,
+                "n_clients": self.config.n_clients,
+                "flows_per_client": self.config.flows_per_client,
+                "policy": self.config.policy.value,
+                "traffic": self.config.traffic,
+                "seed": self.config.seed,
+                "loss": self.config.loss.kind,
+                "rate_adaptation": self.config.rate_adaptation,
+            },
+            "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
+            "per_flow_goodput_mbps": dict(self.per_flow_goodput_mbps),
+            "fairness_index": self.fairness_index,
+            "medium_frames_sent": self.medium_frames_sent,
+            "medium_frames_collided": self.medium_frames_collided,
+            "medium_utilisation": self.medium_utilisation,
+            "decompressor": dict(self.decomp_counters),
+            "tcp": {str(k): dict(v)
+                    for k, v in self.sender_counters.items()},
+            "hack_fit_fraction": self.mac_stats.hack_fit_fraction(),
+        }
+
+
+def _hack_config(cfg: ScenarioConfig) -> HackConfig:
+    base = HackConfig.for_policy(cfg.policy)
+    if cfg.stall_guard_ns is not None:
+        base.stall_guard_ns = cfg.stall_guard_ns
+    if cfg.explicit_timer_ns is not None:
+        base.flush_after_ns = cfg.explicit_timer_ns
+    base.init_vanilla_acks = cfg.init_vanilla_acks
+    base.split_to_aifs = cfg.hack_split_to_aifs
+    return base
+
+
+def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
+    """Build the WLAN described by ``cfg``, run it, collect results."""
+    sim = Simulator()
+    rngs = RngRegistry(cfg.seed)
+    loss_model = cfg.loss.build(rngs.stream("phy-loss"))
+    medium = Medium(sim, loss_model=loss_model)
+    tracer = MediumTracer(medium, cfg.trace_max_records) if cfg.trace \
+        else None
+    phy = cfg.phy
+    mac_stats = MacStats()
+
+    def make_mac(address: str, queue_limit: Optional[int]) -> DcfMac:
+        params = MacParams(
+            data_rate_mbps=cfg.data_rate_mbps,
+            aggregation=cfg.use_aggregation,
+            queue_limit=queue_limit,
+            extra_response_delay_ns=cfg.extra_response_delay_ns,
+            ack_timeout_extra_ns=cfg.ack_timeout_extra_ns,
+            txop_limit_ns=cfg.txop_limit_ns)
+        factory = None
+        if cfg.rate_adaptation == "aarf":
+            def factory():
+                return Aarf(phy.data_rates,
+                            initial_rate=cfg.data_rate_mbps)
+        elif cfg.rate_adaptation is not None:
+            raise ValueError(
+                f"unknown rate_adaptation {cfg.rate_adaptation!r}")
+        return DcfMac(sim, medium, phy, address, params,
+                      rngs.stream(f"mac-{address}"), stats=mac_stats,
+                      loss_model=loss_model,
+                      rate_control_factory=factory)
+
+    # --- Nodes -------------------------------------------------------
+    hack_cfg = _hack_config(cfg)
+    ap_mac = make_mac(
+        "AP", cfg.ap_queue_per_client * max(1, cfg.flows_per_client))
+    ap_driver = HackDriver(sim, ap_mac, hack_cfg)
+    ap = ApNode(sim, ap_driver)
+
+    server = ServerNode(sim)
+    link = WiredLink(sim, server, ap, cfg.wired_rate_mbps,
+                     cfg.wired_delay_ns)
+    server.attach_link(link)
+    ap.attach_link(link)
+
+    clients: Dict[str, ClientNode] = {}
+    drivers: Dict[str, HackDriver] = {"AP": ap_driver}
+    for name in cfg.client_names():
+        mac = make_mac(name, None)
+        driver = HackDriver(sim, mac, _hack_config(cfg))
+        clients[name] = ClientNode(sim, driver, name,
+                                   stack_delay_ns=cfg.stack_delay_ns)
+        drivers[name] = driver
+
+    # --- Traffic -----------------------------------------------------
+    flows: List[TcpFlow] = []
+    udp_sources: List[UdpSource] = []
+    flow_specs = []
+    for index, name in enumerate(cfg.client_names()):
+        if cfg.traffic == "udp_download":
+            flow_specs.append((index, name, 0))
+        else:
+            for sub in range(max(1, cfg.flows_per_client)):
+                flow_specs.append((index, name, sub))
+    for spec_index, (index, name, sub) in enumerate(flow_specs):
+        start_at = spec_index * cfg.stagger_ns
+        if cfg.traffic == "udp_download":
+            source = UdpSource(sim, server, name, cfg.udp_rate_mbps)
+            udp_sources.append(source)
+            sim.schedule(start_at, source.start)
+            continue
+        flow_id = spec_index + 1
+        tuple_down = FiveTuple("10.0.0.1", f"10.0.1.{index + 1}",
+                               5000 + flow_id, 80)
+        if cfg.traffic == "tcp_download":
+            sender = TcpSender(
+                sim, flow_id, server.name, name,
+                output=server.send, total_bytes=cfg.file_bytes,
+                mss=cfg.mss,
+                initial_cwnd_segments=cfg.initial_cwnd_segments,
+                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+                use_sack=cfg.sack_recovery,
+                five_tuple=tuple_down)
+            server.add_sender(sender)
+            client = clients[name]
+            receiver = TcpReceiver(
+                sim, flow_id, name, server.name,
+                output=client.transmit, delayed_ack=cfg.delayed_ack,
+                generate_sack=cfg.generate_sack or cfg.sack_recovery,
+                five_tuple=tuple_down.reversed())
+            client.add_receiver(receiver)
+        elif cfg.traffic == "tcp_upload":
+            client = clients[name]
+            sender = TcpSender(
+                sim, flow_id, name, server.name,
+                output=client.transmit, total_bytes=cfg.file_bytes,
+                mss=cfg.mss,
+                initial_cwnd_segments=cfg.initial_cwnd_segments,
+                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+                use_sack=cfg.sack_recovery,
+                five_tuple=tuple_down)
+            client.add_sender(sender)
+            receiver = TcpReceiver(
+                sim, flow_id, server.name, name,
+                output=server.send, delayed_ack=cfg.delayed_ack,
+                generate_sack=cfg.generate_sack or cfg.sack_recovery,
+                five_tuple=tuple_down.reversed())
+            server.add_receiver(receiver)
+        else:
+            raise ValueError(f"unknown traffic {cfg.traffic!r}")
+        flow = TcpFlow(flow_id, sender, receiver)
+        flows.append(flow)
+
+        def _start(s=sender, f=flow):
+            f.started_at = sim.now
+            s.start()
+
+        def _done(f=flow):
+            f.completed_at = sim.now
+
+        sender.on_complete = _done
+        sim.schedule(start_at, _start)
+
+    # --- Measurement windows -----------------------------------------
+    def snapshot_all() -> None:
+        for flow in flows:
+            flow.snapshot(sim.now)
+        for client in clients.values():
+            client.snapshot_udp()
+
+    sim.schedule(cfg.warmup_ns, snapshot_all)
+    sim.schedule(cfg.duration_ns, snapshot_all, priority=10)
+
+    sim.run(until=cfg.duration_ns + 1)
+
+    # --- Results -------------------------------------------------------
+    per_flow: Dict[int, float] = {}
+    completion: Dict[int, Optional[int]] = {}
+    sender_counters: Dict[int, Dict[str, int]] = {}
+    for flow in flows:
+        if cfg.file_bytes is not None and flow.completed_at is not None:
+            duration = flow.completed_at - (flow.started_at or 0)
+            per_flow[flow.flow_id] = throughput_mbps(cfg.file_bytes,
+                                                     duration)
+        else:
+            per_flow[flow.flow_id] = flow.stats.goodput_mbps(
+                cfg.warmup_ns, cfg.duration_ns)
+        completion[flow.flow_id] = flow.completion_time_ns()
+        sender_counters[flow.flow_id] = {
+            "timeouts": flow.sender.timeouts,
+            "fast_retransmits": flow.sender.fast_retransmits,
+            "retransmits": flow.sender.retransmits,
+            "segments_sent": flow.sender.segments_sent,
+        }
+    for index, source in enumerate(udp_sources):
+        name = cfg.client_names()[index]
+        snaps = clients[name].udp_snapshots
+        if len(snaps) >= 2:
+            (t0, b0), (t1, b1) = snaps[0], snaps[-1]
+            per_flow[-(index + 1)] = throughput_mbps(b1 - b0, t1 - t0)
+
+    decomp: Dict[str, int] = {
+        "acks_reconstructed": 0, "crc_failures": 0, "unknown_cid": 0,
+        "duplicates_skipped": 0, "damaged_skips": 0, "parse_errors": 0}
+    for driver in drivers.values():
+        for key, value in driver.decompressor_counters().items():
+            decomp[key] += value
+
+    return ScenarioResult(
+        config=cfg,
+        per_flow_goodput_mbps=per_flow,
+        mac_stats=mac_stats,
+        driver_stats={name: d.stats for name, d in drivers.items()},
+        decomp_counters=decomp,
+        medium_frames_sent=medium.frames_sent,
+        medium_frames_collided=medium.frames_collided,
+        medium_utilisation=medium.utilisation(cfg.duration_ns),
+        flows=flows,
+        completion_times_ns=completion,
+        sender_counters=sender_counters,
+        clients=clients,
+        drivers=drivers,
+        trace=tracer,
+    )

@@ -1,0 +1,96 @@
+"""Driver symmetry: the AP compresses the server's ACKs for uploads.
+
+§3.1: "TCP/HACK is a fully symmetric design — both the design and our
+implementation of it also work on TCP uploads by an 802.11 client."
+These tests drive the AP-side driver directly through the same code
+paths a client uses.
+"""
+
+from repro.core.driver import HackDriver
+from repro.core.policies import HackConfig, HackPolicy
+from repro.mac.frames import AmpduFrame, Mpdu
+from repro.rohc.packets import parse_frame
+from repro.sim.engine import Simulator
+from repro.tcp.segment import FiveTuple, TcpSegment
+
+FT_UP = FiveTuple("10.0.1.1", "10.0.0.1", 6001, 443)
+
+
+class FakeMac:
+    def __init__(self):
+        self.upper = None
+        self.enqueued = []
+
+    def enqueue(self, payload, dst):
+        self.enqueued.append((payload, dst))
+        return True
+
+    def remove_from_queue(self, dst, predicate):
+        return []
+
+
+def server_ack(ack_no, ts=50):
+    """A TCP ACK from the wired server, heading to client C1."""
+    return TcpSegment(flow_id=9, src="SRV", dst="C1", seq=0,
+                      payload_bytes=0, ack=ack_no, rwnd=65535,
+                      ts_val=ts, ts_ecr=ts - 1, five_tuple=FT_UP)
+
+
+def client_upload_ppdu(seqs, more=True):
+    """An A-MPDU of upload data from client C1."""
+    mpdus = []
+    for seq in seqs:
+        data = TcpSegment(flow_id=9, src="C1", dst="SRV",
+                          seq=seq * 1460, payload_bytes=1460, ack=0,
+                          rwnd=0, five_tuple=FT_UP.reversed())
+        mpdus.append(Mpdu(src="C1", dst="AP", seq=seq, payload=data,
+                          more_data=more))
+    return AmpduFrame(mpdus=mpdus, rate_mbps=150.0), mpdus
+
+
+class TestApSideCompression:
+    def make_ap(self):
+        config = HackConfig.for_policy(HackPolicy.MORE_DATA)
+        return HackDriver(Simulator(), FakeMac(), config)
+
+    def test_ap_latches_on_client_more_data(self):
+        ap = self.make_ap()
+        frame, mpdus = client_upload_ppdu([0, 1], more=True)
+        ap.on_data_ppdu(frame, "C1", mpdus)
+        assert ap.peer("C1").more_data_latched
+
+    def test_server_acks_compressed_onto_ap_block_ack(self):
+        ap = self.make_ap()
+        frame, mpdus = client_upload_ppdu([0, 1], more=True)
+        ap.on_data_ppdu(frame, "C1", mpdus)
+        # Server ACKs arrive over the wire; AP forwards toward C1.
+        ap.send_packet(server_ack(1460), "C1")   # context init, vanilla
+        ap.send_packet(server_ack(2920), "C1")   # compressed
+        ap.send_packet(server_ack(5840), "C1")   # compressed
+        assert len(ap.mac.enqueued) == 1
+        payload = ap.hack_payload_for("C1")
+        _, entries = parse_frame(payload)
+        assert len(entries) == 2
+
+    def test_unlatch_when_client_has_no_more_uploads(self):
+        ap = self.make_ap()
+        frame, mpdus = client_upload_ppdu([0, 1], more=False)
+        ap.on_data_ppdu(frame, "C1", mpdus)
+        ap.send_packet(server_ack(1460), "C1")
+        ap.send_packet(server_ack(2920), "C1")
+        # Both vanilla: the client's queue is drained.
+        assert len(ap.mac.enqueued) == 2
+
+    def test_per_peer_isolation(self):
+        # Two clients uploading: their compressed-ACK buffers and
+        # contexts must not interfere.
+        ap = self.make_ap()
+        for peer in ("C1", "C2"):
+            frame, mpdus = client_upload_ppdu([0, 1], more=True)
+            ap.on_data_ppdu(frame, peer, mpdus)
+            ap.send_packet(server_ack(1460), peer)
+            ap.send_packet(server_ack(2920), peer)
+        p1 = ap.hack_payload_for("C1")
+        p2 = ap.hack_payload_for("C2")
+        assert p1 is not None and p2 is not None
+        assert ap.peer("C1").buffer is not ap.peer("C2").buffer

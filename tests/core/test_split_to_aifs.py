@@ -1,0 +1,124 @@
+"""§3.3.2 footnote: splitting compressed ACKs across LL ACKs."""
+
+import pytest
+
+from repro.core.driver import HackDriver
+from repro.core.policies import HackConfig, HackPolicy
+from repro.mac.frames import AmpduFrame, Mpdu
+from repro.mac.params import MacParams
+from repro.phy.params import PHY_11N
+from repro.rohc.packets import parse_frame
+from repro.sim.engine import Simulator
+from repro.tcp.segment import FiveTuple, TcpSegment
+
+FT = FiveTuple("10.0.0.1", "10.0.1.1", 5001, 80)
+
+
+class FakeMacWithPhy:
+    """Fake MAC exposing the phy/params the splitter consults."""
+
+    def __init__(self):
+        self.upper = None
+        self.enqueued = []
+        self.phy = PHY_11N
+        self.params = MacParams(data_rate_mbps=150.0, aggregation=True)
+
+    def enqueue(self, payload, dst):
+        self.enqueued.append(payload)
+        return True
+
+    def remove_from_queue(self, dst, predicate):
+        return []
+
+
+def tcp_ack(ack_no, ts=10, sack=()):
+    return TcpSegment(flow_id=1, src="C1", dst="SRV", seq=0,
+                      payload_bytes=0, ack=ack_no, rwnd=65535,
+                      ts_val=ts, ts_ecr=ts - 1, five_tuple=FT,
+                      sack_blocks=sack)
+
+
+def make_driver(split=True, max_buffered=200):
+    config = HackConfig.for_policy(HackPolicy.MORE_DATA)
+    config.split_to_aifs = split
+    config.max_buffered = max_buffered
+    driver = HackDriver(Simulator(), FakeMacWithPhy(), config)
+    return driver
+
+
+def latch(driver):
+    data = TcpSegment(flow_id=1, src="SRV", dst="C1", seq=0,
+                      payload_bytes=1460, ack=0, rwnd=0,
+                      five_tuple=FT.reversed())
+    mpdus = [Mpdu(src="AP", dst="C1", seq=0, payload=data,
+                  more_data=True)]
+    driver.on_data_ppdu(AmpduFrame(mpdus=mpdus, rate_mbps=150.0),
+                        "AP", mpdus)
+
+
+def buffer_acks(driver, n, bulky=False):
+    latch(driver)
+    driver.send_packet(tcp_ack(1460), "AP")  # vanilla init
+    for i in range(n):
+        sack = ((10_000 * i, 10_000 * i + 1460),
+                (50_000 * i + 7, 50_000 * i + 2920)) if bulky else ()
+        driver.send_packet(tcp_ack(2920 + 1460 * i, ts=11 + i,
+                                   sack=sack), "AP")
+
+
+class TestSplitting:
+    def test_small_buffer_unsplit(self):
+        driver = make_driver(split=True)
+        buffer_acks(driver, 5)
+        payload = driver.hack_payload_for("AP")
+        _, entries = parse_frame(payload)
+        assert len(entries) == 5
+
+    def test_large_buffer_is_limited(self):
+        driver = make_driver(split=True)
+        buffer_acks(driver, 150, bulky=True)
+        payload = driver.hack_payload_for("AP")
+        _, entries = parse_frame(payload)
+        assert len(entries) < 150
+        # The appended airtime fits within AIFS at the control rate.
+        phy, params = driver.mac.phy, driver.mac.params
+        rate = phy.control_rate_for(params.data_rate_mbps)
+        extra = (phy.control_duration_ns(32 + len(payload), rate)
+                 - phy.control_duration_ns(32, rate))
+        assert extra <= phy.difs_ns
+
+    def test_remainder_rides_later(self):
+        # Each response carries an AIFS-bounded prefix; across enough
+        # response opportunities every entry rides exactly once.
+        driver = make_driver(split=True)
+        buffer_acks(driver, 150, bulky=True)
+        total = 0
+        rounds = 0
+        while driver.peer("AP").buffer and rounds < 200:
+            payload = driver.hack_payload_for("AP")
+            _, entries = parse_frame(payload)
+            total += len(entries)
+            driver.on_ll_response_tx("AP", object(), payload)
+            latch(driver)  # new batch confirms the sent prefix
+            rounds += 1
+        assert total == 150
+        assert rounds > 1  # it really was split across responses
+
+    def test_at_least_one_entry_even_if_oversized(self):
+        driver = make_driver(split=True)
+        latch(driver)
+        driver.send_packet(tcp_ack(1460), "AP")
+        # A single huge-SACK ACK exceeds the AIFS budget by itself.
+        driver.send_packet(
+            tcp_ack(2920, sack=tuple((i * 10, i * 10 + 5)
+                                     for i in range(3))), "AP")
+        ps = driver.peer("AP")
+        # Even if it cannot fit, it must still be sent (unsplittable).
+        assert driver._aifs_prefix_len(ps) >= 1
+
+    def test_disabled_split_sends_everything(self):
+        driver = make_driver(split=False)
+        buffer_acks(driver, 150, bulky=True)
+        payload = driver.hack_payload_for("AP")
+        _, entries = parse_frame(payload)
+        assert len(entries) == 150

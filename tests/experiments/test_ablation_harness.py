@@ -1,0 +1,42 @@
+"""Ablation harness units (cheap synthetic-row checks plus one tiny
+real run per ablation dimension not covered by benchmarks)."""
+
+from repro.experiments import ablations
+
+
+class TestFormatters:
+    def test_all_sections_render(self):
+        rows = [
+            {"ablation": "policy", "variant": "MORE DATA",
+             "goodput_mbps": 129.0},
+            {"ablation": "txop", "variant": "1 ms", "tcp_mbps": 93.0,
+             "hack_mbps": 114.0, "improvement_pct": 22.6},
+            {"ablation": "buffer", "variant": "16 pkts",
+             "tcp_mbps": 57.0, "hack_mbps": 57.0,
+             "improvement_pct": 0.0},
+            {"ablation": "delack", "variant": "delayed ACKs off",
+             "tcp_mbps": 108.0, "hack_mbps": 130.0,
+             "improvement_pct": 19.9},
+        ]
+        out = ablations.format_rows(rows)
+        for title in ("policy", "TXOP", "AP queue", "delayed ACKs"):
+            assert title in out
+
+    def test_negative_gain_formats_with_sign(self):
+        rows = [{"ablation": "buffer", "variant": "42 pkts",
+                 "tcp_mbps": 81.7, "hack_mbps": 80.7,
+                 "improvement_pct": -1.3}]
+        assert "-1.3%" in ablations.format_rows(rows)
+
+
+class TestRunAll:
+    def test_run_includes_every_dimension(self, monkeypatch):
+        # Stub the goodput measurement so run() is instant.
+        monkeypatch.setattr(ablations, "_mean_goodput",
+                            lambda quick, **kw: 100.0)
+        rows = ablations.run(quick=True)
+        dims = {r["ablation"] for r in rows}
+        assert dims == {"policy", "txop", "buffer", "delack"}
+        policies = [r["variant"] for r in rows
+                    if r["ablation"] == "policy"]
+        assert "TS_ECHO (§5 future work)" in policies

@@ -1,0 +1,100 @@
+"""A-MPDU batch construction limits."""
+
+from collections import deque
+
+from repro.mac.aggregation import build_batch, max_mpdus_for_txop
+from repro.mac.blockack import BlockAckOriginator
+from repro.mac.frames import Mpdu
+from repro.mac.params import MacParams, mpdu_subframe_bytes
+from repro.phy.params import PHY_11N
+from repro.sim.units import msec
+
+from ..conftest import FakePayload
+
+
+def make_mpdu_factory():
+    def make(payload, seq):
+        return Mpdu(src="AP", dst="C1", seq=seq, payload=payload)
+    return make
+
+
+def build(queue_sizes, params=None, rate=150.0, origin=None):
+    origin = origin or BlockAckOriginator()
+    params = params or MacParams(data_rate_mbps=rate, aggregation=True)
+    queue = deque(FakePayload(s) for s in queue_sizes)
+    batch = build_batch(origin, queue, make_mpdu_factory(), params,
+                        PHY_11N, rate)
+    return batch, queue, origin
+
+
+class TestLimits:
+    def test_mpdu_count_cap(self):
+        batch, queue, _ = build([100] * 100)
+        assert len(batch) == 64
+        assert len(queue) == 36
+
+    def test_byte_cap(self):
+        # 1498-byte payloads -> 1536-byte MPDUs -> 1540-byte subframes;
+        # 65535 // 1540 = 42 (the paper's 42-packet batches at 150 Mbps).
+        batch, _, _ = build([1498] * 64)
+        assert len(batch) == 42
+
+    def test_txop_cap_at_low_rate(self):
+        # At 15 Mbps the 4 ms TXOP holds far fewer MPDUs than 64 KiB.
+        params = MacParams(data_rate_mbps=15.0, aggregation=True)
+        batch, _, _ = build([1498] * 64, params=params, rate=15.0)
+        sub = mpdu_subframe_bytes(1498 + 38)
+        duration = PHY_11N.frame_duration_ns(len(batch) * sub, 15.0)
+        assert duration <= msec(4)
+        assert len(batch) < 42
+
+    def test_no_txop_limit(self):
+        params = MacParams(data_rate_mbps=15.0, aggregation=True,
+                           txop_limit_ns=None)
+        batch, _, _ = build([1498] * 64, params=params, rate=15.0)
+        assert len(batch) == 42  # byte cap is the only bound
+
+    def test_retries_first_and_in_seq_order(self):
+        origin = BlockAckOriginator()
+        origin.mark_in_flight([
+            Mpdu(src="AP", dst="C1", seq=origin.allocate_seq(),
+                 payload=FakePayload(1000)) for _ in range(3)])
+        origin.on_block_ack(frozenset({1}))  # 0 and 2 requeued
+        batch, _, _ = build([1000] * 2, origin=origin)
+        assert [m.seq for m in batch] == [0, 2, 3, 4]
+
+    def test_originator_window_blocks_new_seqs(self):
+        origin = BlockAckOriginator()
+        # Pin an unresolved retry at seq 0.
+        origin.mark_in_flight([Mpdu(src="AP", dst="C1",
+                                    seq=origin.allocate_seq(),
+                                    payload=FakePayload(100))])
+        origin.on_block_ack(frozenset())  # seq 0 requeued
+        origin.next_seq = 63
+        batch, queue, _ = build([100] * 5, origin=origin)
+        # Window is [0, 64): seq 63 fits, 64+ must wait.
+        assert [m.seq for m in batch] == [0, 63]
+        assert len(queue) == 4
+
+
+class TestMaxMpdusForTxop:
+    def test_150mbps_42_packets(self):
+        params = MacParams(data_rate_mbps=150.0, aggregation=True)
+        assert max_mpdus_for_txop(1548, params, PHY_11N, 150.0) == 42
+
+    def test_low_rate_txop_bound(self):
+        params = MacParams(data_rate_mbps=15.0, aggregation=True)
+        n = max_mpdus_for_txop(1548, params, PHY_11N, 15.0)
+        assert 1 <= n < 42
+        sub = mpdu_subframe_bytes(1548)
+        assert PHY_11N.frame_duration_ns(n * sub, 15.0) <= msec(4)
+
+    def test_at_least_one(self):
+        params = MacParams(data_rate_mbps=15.0, aggregation=True,
+                           txop_limit_ns=usec_1())
+        assert max_mpdus_for_txop(1548, params, PHY_11N, 15.0) == 1
+
+
+def usec_1():
+    from repro.sim.units import usec
+    return usec(1)

@@ -1,0 +1,161 @@
+"""Rate controllers: FixedRate and AARF dynamics."""
+
+import pytest
+
+from repro.mac.rate_control import Aarf, FixedRate, RateController
+
+LADDER = (15.0, 30.0, 45.0, 60.0, 90.0, 120.0, 135.0, 150.0)
+
+
+class TestFixedRate:
+    def test_constant(self):
+        ctrl = FixedRate(54.0)
+        ctrl.on_success()
+        ctrl.on_failure()
+        assert ctrl.current_rate() == 54.0
+
+
+class TestRatioMapping:
+    class Probe(RateController):
+        def __init__(self):
+            self.events = []
+
+        def current_rate(self):
+            return 0.0
+
+        def on_success(self):
+            self.events.append("ok")
+
+        def on_failure(self):
+            self.events.append("fail")
+
+    def test_high_ratio_is_success(self):
+        probe = self.Probe()
+        probe.on_ratio(40, 42)
+        assert probe.events == ["ok"]
+
+    def test_low_ratio_is_failure(self):
+        probe = self.Probe()
+        probe.on_ratio(10, 42)
+        assert probe.events == ["fail"]
+
+    def test_middle_band_neutral(self):
+        probe = self.Probe()
+        probe.on_ratio(30, 42)  # ~0.71
+        assert probe.events == []
+
+    def test_zero_total_ignored(self):
+        probe = self.Probe()
+        probe.on_ratio(0, 0)
+        assert probe.events == []
+
+
+class TestAarf:
+    def test_starts_at_initial_rate(self):
+        assert Aarf(LADDER, initial_rate=90.0).current_rate() == 90.0
+
+    def test_defaults_to_top_rate(self):
+        assert Aarf(LADDER).current_rate() == 150.0
+
+    def test_invalid_initial_rate(self):
+        with pytest.raises(ValueError):
+            Aarf(LADDER, initial_rate=33.0)
+
+    def test_empty_ladder_rejected(self):
+        with pytest.raises(ValueError):
+            Aarf(())
+
+    def test_two_failures_step_down(self):
+        ctrl = Aarf(LADDER, initial_rate=150.0)
+        ctrl.on_failure()
+        assert ctrl.current_rate() == 150.0
+        ctrl.on_failure()
+        assert ctrl.current_rate() == 135.0
+
+    def test_success_run_steps_up(self):
+        ctrl = Aarf(LADDER, initial_rate=90.0,
+                    min_success_threshold=10)
+        for _ in range(10):
+            ctrl.on_success()
+        assert ctrl.current_rate() == 120.0
+        assert ctrl.upshifts == 1
+
+    def test_failed_probe_doubles_threshold(self):
+        ctrl = Aarf(LADDER, initial_rate=90.0,
+                    min_success_threshold=10)
+        for _ in range(10):
+            ctrl.on_success()
+        assert ctrl.current_rate() == 120.0
+        ctrl.on_failure()  # probe failed immediately
+        assert ctrl.current_rate() == 90.0
+        assert ctrl._success_threshold == 20
+        assert ctrl.probe_failures == 1
+        # Now 10 successes are not enough to probe again...
+        for _ in range(10):
+            ctrl.on_success()
+        assert ctrl.current_rate() == 90.0
+        # ...but 20 are.
+        for _ in range(10):
+            ctrl.on_success()
+        assert ctrl.current_rate() == 120.0
+
+    def test_threshold_capped(self):
+        ctrl = Aarf(LADDER, initial_rate=90.0,
+                    min_success_threshold=10,
+                    max_success_threshold=40)
+        for _ in range(5):
+            for _ in range(ctrl._success_threshold):
+                ctrl.on_success()
+            ctrl.on_failure()
+        assert ctrl._success_threshold == 40
+
+    def test_floor_and_ceiling(self):
+        ctrl = Aarf(LADDER, initial_rate=15.0)
+        for _ in range(10):
+            ctrl.on_failure()
+        assert ctrl.current_rate() == 15.0
+        top = Aarf(LADDER, initial_rate=150.0)
+        for _ in range(100):
+            top.on_success()
+        assert top.current_rate() == 150.0
+
+    def test_success_resets_failure_streak(self):
+        ctrl = Aarf(LADDER, initial_rate=150.0)
+        ctrl.on_failure()
+        ctrl.on_success()
+        ctrl.on_failure()
+        assert ctrl.current_rate() == 150.0
+
+    def test_converges_on_synthetic_channel(self):
+        """On a channel where rates <= 60 always succeed and rates
+        above always fail, AARF settles at 60."""
+        ctrl = Aarf(LADDER, initial_rate=150.0)
+        for _ in range(600):
+            if ctrl.current_rate() <= 60.0:
+                ctrl.on_success()
+            else:
+                ctrl.on_failure()
+        assert ctrl.current_rate() == 60.0
+
+
+class TestScenarioIntegration:
+    def test_aarf_beats_fixed_at_low_snr(self):
+        from repro import HackPolicy, LossSpec, ScenarioConfig, \
+            run_scenario
+        from repro.sim.units import MS
+
+        def goodput(adaptation):
+            return run_scenario(ScenarioConfig(
+                phy_mode="11n", data_rate_mbps=150.0,
+                traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+                rate_adaptation=adaptation,
+                loss=LossSpec(kind="snr", snr_db=14.0),
+                duration_ns=1500 * MS, warmup_ns=700 * MS,
+                stagger_ns=0)).aggregate_goodput_mbps
+
+        assert goodput("aarf") > 5 * max(goodput(None), 0.1)
+
+    def test_unknown_adaptation_rejected(self):
+        from repro import ScenarioConfig, run_scenario
+        with pytest.raises(ValueError):
+            run_scenario(ScenarioConfig(rate_adaptation="minstrel"))

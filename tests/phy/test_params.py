@@ -1,0 +1,94 @@
+"""PHY timing: every number here is hand-computed from the standard."""
+
+import pytest
+
+from repro.phy.params import HT40_SGI_RATES_1SS, PHY_11A, PHY_11N, \
+    ht_rates_for_streams, phy_11n_with_rates
+from repro.sim.units import usec
+
+
+class Test11aTimings:
+    def test_difs(self):
+        # DIFS = SIFS + 2*slot = 16 + 18 = 34 us.
+        assert PHY_11A.difs_ns == usec(34)
+
+    def test_mean_backoff(self):
+        # CWmin/2 * slot = 7.5 * 9 = 67.5 us.
+        assert PHY_11A.mean_backoff_ns() == usec(67.5)
+
+    def test_ack_duration_at_24(self):
+        # 14 bytes: 22 + 112 = 134 bits; 96 bits/sym -> 2 syms = 8 us;
+        # plus 20 us preamble = 28 us.
+        assert PHY_11A.control_duration_ns(14, 24.0) == usec(28)
+
+    def test_data_frame_1500_at_54(self):
+        # (22 + 12000) bits / 216 = 55.66 -> 56 syms = 224 us + 20.
+        assert PHY_11A.frame_duration_ns(1500, 54.0) == usec(244)
+
+    def test_data_frame_at_6(self):
+        # 6 Mbps: 24 bits/sym; 1 byte: 30 bits -> 2 syms.
+        assert PHY_11A.frame_duration_ns(1, 6.0) == usec(28)
+
+    def test_invalid_rate_rejected(self):
+        with pytest.raises(ValueError):
+            PHY_11A.frame_duration_ns(100, 11.0)
+
+    def test_ack_timeout(self):
+        assert PHY_11A.ack_timeout_ns() == usec(16 + 9 + 20)
+
+    def test_eifs_exceeds_difs(self):
+        assert PHY_11A.eifs_ns > PHY_11A.difs_ns
+
+    def test_control_rate_selection(self):
+        assert PHY_11A.control_rate_for(54.0) == 24.0
+        assert PHY_11A.control_rate_for(24.0) == 24.0
+        assert PHY_11A.control_rate_for(18.0) == 12.0
+        assert PHY_11A.control_rate_for(9.0) == 6.0
+        assert PHY_11A.control_rate_for(6.0) == 6.0
+
+
+class Test11nTimings:
+    def test_aifs_be(self):
+        # Paper: AIFS = 16 + 3*9 = 43 us; mean idle 110.5 us total.
+        assert PHY_11N.difs_ns == usec(43)
+        assert PHY_11N.difs_ns + PHY_11N.mean_backoff_ns() == usec(110.5)
+
+    def test_rates_are_mcs0_to_7(self):
+        assert PHY_11N.data_rates == (15.0, 30.0, 45.0, 60.0, 90.0,
+                                      120.0, 135.0, 150.0)
+
+    def test_symbol_time_sgi(self):
+        assert PHY_11N.symbol_ns == usec(3.6)
+
+    def test_ht_preamble(self):
+        assert PHY_11N.preamble_ns == usec(36)
+
+    def test_frame_duration_150(self):
+        # 150 Mbps, 3.6us symbols -> 540 bits/symbol.
+        # 1550 bytes: 22 + 12400 = 12422 bits -> 24 syms? no: 12422/540
+        # = 23.004 -> 24 symbols = 86.4 us + 36 = 122.4 us.
+        assert PHY_11N.frame_duration_ns(1550, 150.0) == usec(36 + 24 * 3.6)
+
+    def test_control_frames_use_legacy_format(self):
+        # Block ACK (32 B) at 24 Mbps: 22+256=278 bits / 96 -> 3 syms
+        # = 12 us + 20 us legacy preamble = 32 us.
+        assert PHY_11N.control_duration_ns(32, 24.0) == usec(32)
+
+
+class TestExtendedRates:
+    def test_streams_scale_rates(self):
+        assert ht_rates_for_streams(2) == tuple(
+            2 * r for r in HT40_SGI_RATES_1SS)
+
+    def test_four_streams_reach_600(self):
+        assert max(ht_rates_for_streams(4)) == 600.0
+
+    def test_invalid_streams(self):
+        with pytest.raises(ValueError):
+            ht_rates_for_streams(5)
+
+    def test_custom_rate_table(self):
+        phy = phy_11n_with_rates((300.0,))
+        assert phy.frame_duration_ns(1500, 300.0) > 0
+        with pytest.raises(ValueError):
+            phy.frame_duration_ns(1500, 150.0)

@@ -1,0 +1,81 @@
+"""ROHC CRC and W-LSB primitives."""
+
+import pytest
+
+from repro.rohc.crc import crc3, crc7, crc8
+from repro.rohc.wlsb import interpretation_interval, lsb_decode, \
+    lsb_encode
+
+
+class TestCrc:
+    def test_ranges(self):
+        data = b"hello rohc"
+        assert 0 <= crc3(data) <= 7
+        assert 0 <= crc7(data) <= 127
+        assert 0 <= crc8(data) <= 255
+
+    def test_deterministic(self):
+        assert crc3(b"abc") == crc3(b"abc")
+
+    def test_sensitive_to_change(self):
+        # CRC-3 has only 8 values; test across many perturbations that
+        # at least most flips are detected.
+        base = b"\x12\x34\x56\x78" * 4
+        baseline = crc3(base)
+        changed = 0
+        for i in range(len(base)):
+            mutated = bytearray(base)
+            mutated[i] ^= 0x01
+            if crc3(bytes(mutated)) != baseline:
+                changed += 1
+        assert changed >= len(base) // 2
+
+    def test_crc8_detects_single_bit_flips(self):
+        base = b"\xDE\xAD\xBE\xEF"
+        baseline = crc8(base)
+        for i in range(32):
+            mutated = bytearray(base)
+            mutated[i // 8] ^= 1 << (i % 8)
+            assert crc8(bytes(mutated)) != baseline
+
+    def test_empty_input(self):
+        assert isinstance(crc3(b""), int)
+
+
+class TestWlsb:
+    def test_encode_keeps_low_bits(self):
+        assert lsb_encode(0x1234, 8) == 0x34
+
+    def test_decode_recovers_nearby_value(self):
+        value = 1000
+        lsbs = lsb_encode(value, 8)
+        assert lsb_decode(lsbs, 8, v_ref=998) == value
+
+    def test_decode_with_negative_offset(self):
+        # p > 0 allows values slightly behind the reference.
+        value = 995
+        lsbs = lsb_encode(value, 8)
+        assert lsb_decode(lsbs, 8, v_ref=1000, p=16) == value
+
+    def test_roundtrip_across_window(self):
+        for ref in (0, 100, 255, 256, 70000):
+            low, high = interpretation_interval(8, ref, p=64)
+            for value in (low, ref, high):
+                if value < 0:
+                    continue
+                assert lsb_decode(lsb_encode(value, 8), 8, ref,
+                                  p=64) == value
+
+    def test_wraparound_256(self):
+        # Reference 250, value 260: low bits 4.
+        assert lsb_decode(260 & 0xFF, 8, v_ref=250) == 260
+
+    def test_invalid_k(self):
+        with pytest.raises(ValueError):
+            lsb_encode(5, 0)
+        with pytest.raises(ValueError):
+            lsb_decode(0, 0, 0)
+
+    def test_out_of_range_lsbs(self):
+        with pytest.raises(ValueError):
+            lsb_decode(256, 8, 0)

@@ -1,0 +1,189 @@
+"""Wire-format round trips for compressed ACK entries and frames."""
+
+import pytest
+
+from repro.rohc.context import DynamicState
+from repro.rohc.crc import crc3
+from repro.rohc.packets import ACK_ABSOLUTE, ACK_D8, ACK_STRIDE, \
+    CompressedAck, EncodingError, ParseError, apply_entry, build_frame, \
+    encode_entry, parse_entry, parse_frame, unzigzag, zigzag
+from repro.tcp.segment import TcpSegment
+
+
+def ack_segment(ack=2920, ts_val=10, ts_ecr=9, rwnd=65535, seq=0,
+                sack=()):
+    return TcpSegment(flow_id=1, src="C1", dst="SRV", seq=seq,
+                      payload_bytes=0, ack=ack, rwnd=rwnd,
+                      ts_val=ts_val, ts_ecr=ts_ecr, sack_blocks=sack)
+
+
+def roundtrip(state, segment, cid=7, same_cid=False, msn=0,
+              force_absolute=False):
+    data, new_state = encode_entry(state, segment, cid, same_cid, msn,
+                                   force_absolute)
+    entry = parse_entry(data, 0)
+    assert entry.size == len(data)
+    decoded = apply_entry(entry, state)
+    assert decoded.ack == segment.ack
+    assert decoded.ts_val == segment.ts_val
+    assert decoded.ts_ecr == segment.ts_ecr
+    assert decoded.rwnd == segment.rwnd
+    assert crc3(decoded.crc_input()) == entry.crc
+    assert decoded == new_state
+    return data, entry
+
+
+class TestZigzag:
+    @pytest.mark.parametrize("n", [0, 1, -1, 2, -2, 1000, -1000])
+    def test_roundtrip(self, n):
+        assert unzigzag(zigzag(n)) == n
+
+    def test_ordering(self):
+        assert zigzag(0) == 0
+        assert zigzag(-1) == 1
+        assert zigzag(1) == 2
+
+
+class TestEntryRoundtrip:
+    def test_first_ack_absolute(self):
+        state = DynamicState()
+        data, entry = roundtrip(state, ack_segment(), force_absolute=True)
+        assert entry.ack_mode == ACK_ABSOLUTE
+
+    def test_delta_entry(self):
+        state = DynamicState(ack=1460, ts_val=10, ts_ecr=9, rwnd=65535)
+        data, entry = roundtrip(state, ack_segment(ack=1460 + 2920,
+                                                   ts_val=10, ts_ecr=9))
+        assert entry.ack_mode != ACK_ABSOLUTE
+        # ctrl+msn byte + cid + 2-byte delta.
+        assert len(data) <= 5
+
+    def test_stride_repeat_is_tiny(self):
+        # Steady-state bulk download: constant 2920-byte stride and
+        # unchanged ms timestamps -> the paper's "3 bytes or fewer".
+        state = DynamicState(ack=5840, ack_delta=2920, ts_val=10,
+                             ts_ecr=9, rwnd=65535)
+        data, entry = roundtrip(
+            state, ack_segment(ack=5840 + 2920, ts_val=10, ts_ecr=9),
+            same_cid=True)
+        assert entry.ack_mode == ACK_STRIDE
+        assert len(data) == 2
+
+    def test_dup_ack_zero_delta(self):
+        state = DynamicState(ack=2920, ack_delta=2920, ts_val=10,
+                             ts_ecr=9, rwnd=65535)
+        data, entry = roundtrip(
+            state, ack_segment(ack=2920, ts_val=10, ts_ecr=9),
+            same_cid=True)
+        assert entry.ack_mode == ACK_D8
+        assert entry.d_ack == 0
+
+    def test_timestamp_deltas(self):
+        state = DynamicState(ack=0, ts_val=100, ts_ecr=90, rwnd=65535)
+        roundtrip(state, ack_segment(ack=1460, ts_val=103, ts_ecr=95))
+
+    def test_negative_ts_delta(self):
+        state = DynamicState(ack=0, ts_val=100, ts_ecr=90, rwnd=65535)
+        roundtrip(state, ack_segment(ack=1460, ts_val=100, ts_ecr=85))
+
+    def test_window_update_delta(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535)
+        data, entry = roundtrip(
+            state, ack_segment(ack=1460, ts_val=1, ts_ecr=1, rwnd=60000))
+        assert entry.wnd_present
+
+    def test_large_window_change_forces_absolute(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=1000)
+        data, entry = roundtrip(
+            state, ack_segment(ack=1460, ts_val=1, ts_ecr=1,
+                               rwnd=4 * 1024 * 1024))
+        assert entry.ack_mode == ACK_ABSOLUTE
+
+    def test_ack_regression_forces_absolute(self):
+        state = DynamicState(ack=9999, ts_val=1, ts_ecr=1, rwnd=65535)
+        data, entry = roundtrip(
+            state, ack_segment(ack=5000, ts_val=1, ts_ecr=1))
+        assert entry.ack_mode == ACK_ABSOLUTE
+
+    def test_seq_change_forces_absolute(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535,
+                             seq=0)
+        data, entry = roundtrip(
+            state, ack_segment(ack=1460, ts_val=1, ts_ecr=1, seq=777))
+        assert entry.ack_mode == ACK_ABSOLUTE
+        assert apply_entry(entry, state).seq == 777
+
+    def test_sack_blocks_roundtrip(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535)
+        data, entry = roundtrip(
+            state, ack_segment(ack=1460, ts_val=1, ts_ecr=1,
+                               sack=((2920, 4380), (7300, 8760))))
+        assert entry.sack_blocks == ((2920, 4380), (7300, 8760))
+
+    def test_data_segment_rejected(self):
+        seg = TcpSegment(flow_id=1, src="a", dst="b", seq=0,
+                         payload_bytes=100, ack=0, rwnd=0)
+        with pytest.raises(EncodingError):
+            encode_entry(DynamicState(), seg, 0, False, 0)
+
+    def test_msn_nibble_recorded(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535)
+        data, _ = encode_entry(state, ack_segment(ack=100, ts_val=1,
+                                                  ts_ecr=1), 7, False, 0x2B)
+        assert parse_entry(data, 0).msn_nibble == 0xB
+
+    def test_same_cid_omits_cid_byte(self):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535)
+        with_cid, _ = encode_entry(state, ack_segment(ack=100, ts_val=1,
+                                                      ts_ecr=1),
+                                   7, False, 0)
+        without, _ = encode_entry(state, ack_segment(ack=100, ts_val=1,
+                                                     ts_ecr=1),
+                                  7, True, 0)
+        assert len(with_cid) == len(without) + 1
+
+
+class TestFrames:
+    def entries(self, n, start_msn=0):
+        state = DynamicState(ack=0, ts_val=1, ts_ecr=1, rwnd=65535)
+        out = []
+        for i in range(n):
+            seg = ack_segment(ack=(i + 1) * 2920, ts_val=1, ts_ecr=1)
+            data, state = encode_entry(state, seg, 7, i > 0,
+                                       start_msn + i,
+                                       force_absolute=(i == 0))
+            out.append(CompressedAck(msn=start_msn + i, cid=7,
+                                     data=data, segment=seg))
+        return out
+
+    def test_build_and_parse(self):
+        frame = build_frame(self.entries(3))
+        first_msn8, entries = parse_frame(frame)
+        assert first_msn8 == 0
+        assert len(entries) == 3
+
+    def test_empty_frame_rejected(self):
+        with pytest.raises(ValueError):
+            build_frame([])
+
+    def test_nonconsecutive_msns_rejected(self):
+        entries = self.entries(2)
+        entries[1].msn = 5
+        with pytest.raises(ValueError):
+            build_frame(entries)
+
+    def test_first_msn_wraps_mod_256(self):
+        entries = self.entries(1, start_msn=300)
+        frame = build_frame(entries)
+        first_msn8, _ = parse_frame(frame)
+        assert first_msn8 == 300 % 256
+
+    def test_truncated_frame_rejected(self):
+        frame = build_frame(self.entries(2))
+        with pytest.raises(ParseError):
+            parse_frame(frame[:-1])
+
+    def test_trailing_garbage_rejected(self):
+        frame = build_frame(self.entries(2))
+        with pytest.raises(ParseError):
+            parse_frame(frame + b"\x00")

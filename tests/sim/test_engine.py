@@ -1,0 +1,141 @@
+"""Event engine: ordering, cancellation, horizons, determinism."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import SEC, usec
+
+
+class TestScheduling:
+    def test_runs_in_time_order(self, sim):
+        log = []
+        sim.schedule(30, lambda: log.append("c"))
+        sim.schedule(10, lambda: log.append("a"))
+        sim.schedule(20, lambda: log.append("b"))
+        sim.run()
+        assert log == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(usec(5), lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [usec(5)]
+
+    def test_fifo_for_ties(self, sim):
+        log = []
+        for tag in "abcd":
+            sim.schedule(100, lambda t=tag: log.append(t))
+        sim.run()
+        assert log == list("abcd")
+
+    def test_priority_breaks_ties(self, sim):
+        log = []
+        sim.schedule(100, lambda: log.append("low"), priority=5)
+        sim.schedule(100, lambda: log.append("high"), priority=-5)
+        sim.run()
+        assert log == ["high", "low"]
+
+    def test_args_passed(self, sim):
+        out = []
+        sim.schedule(1, out.append, "x")
+        sim.run()
+        assert out == ["x"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ValueError):
+            sim.schedule(-1, lambda: None)
+
+    def test_schedule_in_past_rejected(self, sim):
+        sim.schedule(100, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(50, lambda: None)
+
+    def test_events_scheduled_during_run(self, sim):
+        log = []
+
+        def first():
+            log.append("first")
+            sim.schedule(10, lambda: log.append("nested"))
+
+        sim.schedule(5, first)
+        sim.run()
+        assert log == ["first", "nested"]
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self, sim):
+        log = []
+        event = sim.schedule(10, lambda: log.append("no"))
+        event.cancel()
+        sim.run()
+        assert log == []
+
+    def test_cancel_is_idempotent(self, sim):
+        event = sim.schedule(10, lambda: None)
+        event.cancel()
+        event.cancel()
+        assert sim.run() == 0
+
+    def test_pending_events_excludes_cancelled(self, sim):
+        sim.schedule(10, lambda: None)
+        event = sim.schedule(20, lambda: None)
+        event.cancel()
+        assert sim.pending_events == 1
+
+
+class TestRunControl:
+    def test_until_is_exclusive(self, sim):
+        log = []
+        sim.schedule(100, lambda: log.append("at"))
+        sim.run(until=100)
+        assert log == []
+        assert sim.now == 100
+
+    def test_until_resumable(self, sim):
+        log = []
+        sim.schedule(100, lambda: log.append("x"))
+        sim.run(until=50)
+        assert log == []
+        sim.run(until=200)
+        assert log == ["x"]
+
+    def test_max_events(self, sim):
+        log = []
+        for i in range(10):
+            sim.schedule(i + 1, lambda i=i: log.append(i))
+        executed = sim.run(max_events=3)
+        assert executed == 3
+        assert log == [0, 1, 2]
+
+    def test_stop_from_callback(self, sim):
+        log = []
+        sim.schedule(1, lambda: (log.append("a"), sim.stop()))
+        sim.schedule(2, lambda: log.append("b"))
+        sim.run()
+        assert log[0][0] == "a" if isinstance(log[0], tuple) else True
+        assert "b" not in log
+
+    def test_clock_advances_to_horizon_when_drained(self, sim):
+        sim.schedule(10, lambda: None)
+        sim.run(until=1 * SEC)
+        assert sim.now == 1 * SEC
+
+    def test_run_returns_event_count(self, sim):
+        for i in range(5):
+            sim.schedule(i + 1, lambda: None)
+        assert sim.run() == 5
+
+
+class TestDeterminism:
+    def test_identical_runs(self):
+        def build_and_run():
+            sim = Simulator()
+            log = []
+            for i in range(100):
+                sim.schedule((i * 7919) % 1000 + 1,
+                             lambda i=i: log.append(i))
+            sim.run()
+            return log
+
+        assert build_and_run() == build_and_run()

@@ -1,0 +1,169 @@
+"""Medium semantics: delivery, collisions, carrier sense, utilisation."""
+
+import pytest
+
+from repro.sim.medium import Medium
+from repro.sim.units import usec
+
+from ..conftest import FakeFrame, RecordingListener
+
+
+def make_net(sim, n=3, loss_model=None):
+    medium = Medium(sim, loss_model=loss_model)
+    nodes = [RecordingListener(sim, f"n{i}") for i in range(n)]
+    for node in nodes:
+        medium.attach(node)
+    return medium, nodes
+
+
+class TestDelivery:
+    def test_frame_delivered_to_all_but_sender(self, sim):
+        medium, (a, b, c) = make_net(sim)
+        frame = FakeFrame("hello")
+        medium.transmit(a, frame, usec(100))
+        sim.run()
+        assert len(b.of_kind("rx")) == 1
+        assert len(c.of_kind("rx")) == 1
+        assert len(a.of_kind("rx")) == 0
+
+    def test_delivery_at_frame_end(self, sim):
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run()
+        assert b.of_kind("rx")[0][1] == usec(100)
+
+    def test_sender_identity_passed(self, sim):
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(10))
+        sim.run()
+        assert b.of_kind("rx")[0][3] is a
+
+    def test_zero_duration_rejected(self, sim):
+        medium, (a, _, _) = make_net(sim)
+        with pytest.raises(ValueError):
+            medium.transmit(a, FakeFrame(), 0)
+
+
+class TestCollisions:
+    def test_overlap_corrupts_both(self, sim):
+        medium, (a, b, c) = make_net(sim)
+        medium.transmit(a, FakeFrame("f1"), usec(100))
+        sim.schedule(usec(50),
+                     lambda: medium.transmit(b, FakeFrame("f2"), usec(100)))
+        sim.run()
+        # c hears both frames as errors.
+        assert len(c.of_kind("err")) == 2
+        assert len(c.of_kind("rx")) == 0
+        assert medium.frames_collided == 2
+
+    def test_same_instant_collision(self, sim):
+        medium, (a, b, c) = make_net(sim)
+        medium.transmit(a, FakeFrame("f1"), usec(100))
+        medium.transmit(b, FakeFrame("f2"), usec(100))
+        sim.run()
+        assert len(c.of_kind("err")) == 2
+
+    def test_back_to_back_do_not_collide(self, sim):
+        medium, (a, b, c) = make_net(sim)
+        medium.transmit(a, FakeFrame("f1"), usec(100))
+        sim.schedule(usec(100),
+                     lambda: medium.transmit(b, FakeFrame("f2"), usec(50)))
+        sim.run()
+        assert len(c.of_kind("rx")) == 2
+        assert medium.frames_collided == 0
+
+    def test_three_way_collision(self, sim):
+        medium, nodes = make_net(sim, n=4)
+        for node in nodes[:3]:
+            medium.transmit(node, FakeFrame(), usec(10))
+        sim.run()
+        assert medium.frames_collided == 3
+        # The idle fourth node hears three errors.
+        assert len(nodes[3].of_kind("err")) == 3
+
+
+class TestCarrierSense:
+    def test_busy_and_idle_notifications(self, sim):
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run()
+        assert ("busy", 0) in b.events
+        assert ("idle", usec(100)) in b.events
+
+    def test_busy_property(self, sim):
+        medium, (a, _, _) = make_net(sim)
+        assert not medium.busy
+        medium.transmit(a, FakeFrame(), usec(100))
+        assert medium.busy
+        sim.run()
+        assert not medium.busy
+
+    def test_idle_only_after_last_overlapping_tx(self, sim):
+        medium, (a, b, c) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.schedule(usec(50),
+                     lambda: medium.transmit(b, FakeFrame(), usec(100)))
+        sim.run()
+        idles = c.of_kind("idle")
+        assert len(idles) == 1
+        assert idles[0][1] == usec(150)
+
+    def test_idle_notified_before_frame_delivery(self, sim):
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run()
+        kinds = [e[0] for e in b.events]
+        assert kinds.index("idle") < kinds.index("rx")
+
+
+class TestLossModel:
+    def test_loss_model_consulted(self, sim):
+        class AlwaysLose:
+            def is_lost(self, sender, receiver, frame):
+                return True
+
+        medium, (a, b, _) = make_net(sim)
+        medium.loss_model = AlwaysLose()
+        medium.transmit(a, FakeFrame(), usec(10))
+        sim.run()
+        assert len(b.of_kind("err")) == 1
+        assert len(b.of_kind("rx")) == 0
+
+    def test_per_receiver_loss(self, sim):
+        class LoseForB:
+            def __init__(self, b):
+                self.b = b
+
+            def is_lost(self, sender, receiver, frame):
+                return receiver is self.b
+
+        medium, (a, b, c) = make_net(sim)
+        medium.loss_model = LoseForB(b)
+        medium.transmit(a, FakeFrame(), usec(10))
+        sim.run()
+        assert len(b.of_kind("err")) == 1
+        assert len(c.of_kind("rx")) == 1
+
+
+class TestUtilisation:
+    def test_utilisation_fraction(self, sim):
+        medium, (a, _, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run(until=usec(400))
+        assert medium.utilisation() == pytest.approx(0.25)
+
+    def test_busy_time_counts_overlap_once(self, sim):
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        medium.transmit(b, FakeFrame(), usec(100))
+        sim.run(until=usec(200))
+        assert medium.busy_time == usec(100)
+
+    def test_observer_called(self, sim):
+        medium, (a, _, _) = make_net(sim)
+        seen = []
+        medium.observers.append(seen.append)
+        medium.transmit(a, FakeFrame(), usec(10))
+        sim.run()
+        assert len(seen) == 1
+        assert seen[0].sender is a

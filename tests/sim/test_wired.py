@@ -1,0 +1,93 @@
+"""Wired link: serialisation, propagation, FIFO, drop-tail."""
+
+import pytest
+
+from repro.sim.units import MS, usec
+from repro.sim.wired import WiredLink, WiredPipe
+
+from ..conftest import FakeFrame
+
+
+class Sink:
+    def __init__(self):
+        self.received = []
+
+    def receive_wired(self, packet):
+        self.received.append(packet)
+
+
+class TestWiredPipe:
+    def test_serialisation_plus_propagation(self, sim):
+        got = []
+
+        def deliver(p):
+            got.append((sim.now, p))
+
+        pipe = WiredPipe(sim, rate_mbps=8.0, delay_ns=MS, deliver=deliver)
+        pipe.send(FakeFrame(byte_length=1000))  # 8000 bits @ 8Mbps = 1ms
+        sim.run()
+        assert got[0][0] == 2 * MS
+
+    def test_fifo_order(self, sim):
+        got = []
+        pipe = WiredPipe(sim, 100.0, 0, lambda p: got.append(p.name))
+        for name in "abc":
+            pipe.send(FakeFrame(name))
+        sim.run()
+        assert got == ["a", "b", "c"]
+
+    def test_back_to_back_serialisation(self, sim):
+        times = []
+        pipe = WiredPipe(sim, 8.0, 0, lambda p: times.append(sim.now))
+        pipe.send(FakeFrame(byte_length=1000))
+        pipe.send(FakeFrame(byte_length=1000))
+        sim.run()
+        assert times == [MS, 2 * MS]
+
+    def test_queue_limit_drop_tail(self, sim):
+        pipe = WiredPipe(sim, 1.0, 0, lambda p: None, queue_limit=2)
+        # First packet starts transmitting immediately (leaves queue).
+        assert pipe.send(FakeFrame(byte_length=10_000))
+        assert pipe.send(FakeFrame(byte_length=10_000))
+        assert pipe.send(FakeFrame(byte_length=10_000))
+        assert not pipe.send(FakeFrame(byte_length=10_000))
+        assert pipe.packets_dropped == 1
+
+    def test_counters(self, sim):
+        pipe = WiredPipe(sim, 100.0, 0, lambda p: None)
+        pipe.send(FakeFrame(byte_length=500))
+        sim.run()
+        assert pipe.packets_sent == 1
+        assert pipe.bytes_sent == 500
+
+    def test_invalid_params(self, sim):
+        with pytest.raises(ValueError):
+            WiredPipe(sim, 0.0, 0, lambda p: None)
+        with pytest.raises(ValueError):
+            WiredPipe(sim, 10.0, -1, lambda p: None)
+
+
+class TestWiredLink:
+    def test_bidirectional(self, sim):
+        a, b = Sink(), Sink()
+        link = WiredLink(sim, a, b, 100.0, usec(10))
+        link.send_from(a, FakeFrame("to-b"))
+        link.send_from(b, FakeFrame("to-a"))
+        sim.run()
+        assert b.received[0].name == "to-b"
+        assert a.received[0].name == "to-a"
+
+    def test_foreign_endpoint_rejected(self, sim):
+        a, b, c = Sink(), Sink(), Sink()
+        link = WiredLink(sim, a, b, 100.0, 0)
+        with pytest.raises(ValueError):
+            link.send_from(c, FakeFrame())
+
+    def test_pipes_accessor(self, sim):
+        a, b = Sink(), Sink()
+        link = WiredLink(sim, a, b, 100.0, 0)
+        ab, ba = link.pipes()
+        link.send_from(a, FakeFrame())
+        sim.run()
+        assert ab.packets_sent == 1
+        assert ba.packets_sent == 0

@@ -1,0 +1,51 @@
+"""TCP segment size arithmetic and classification."""
+
+from repro.tcp.segment import FiveTuple, TcpSegment, UdpDatagram
+
+
+def seg(payload=0, sack=()):
+    return TcpSegment(flow_id=1, src="C1", dst="SRV", seq=0,
+                      payload_bytes=payload, ack=100, rwnd=65535,
+                      sack_blocks=sack)
+
+
+class TestSizes:
+    def test_pure_ack_is_52_bytes(self):
+        # 20 IP + 20 TCP + 12 timestamp option: Table 2's 52 B/ACK.
+        assert seg().byte_length == 52
+
+    def test_data_segment(self):
+        assert seg(payload=1460).byte_length == 1512
+
+    def test_sack_blocks_add_bytes(self):
+        assert seg(sack=((0, 10),)).byte_length == 52 + 4 + 8
+        assert seg(sack=((0, 10), (20, 30))).byte_length == 52 + 4 + 16
+
+
+class TestClassification:
+    def test_pure_ack(self):
+        assert seg().is_pure_ack
+        assert seg().kind == "tcp_ack"
+
+    def test_data(self):
+        assert not seg(payload=1).is_pure_ack
+        assert seg(payload=1).kind == "tcp_data"
+
+    def test_end_seq(self):
+        s = TcpSegment(flow_id=1, src="a", dst="b", seq=1000,
+                       payload_bytes=500, ack=0, rwnd=0)
+        assert s.end_seq == 1500
+
+
+class TestFiveTuple:
+    def test_key_and_reverse(self):
+        ft = FiveTuple("10.0.0.1", "10.0.0.2", 5001, 80)
+        assert ft.key() == ("10.0.0.1", "10.0.0.2", 5001, 80)
+        assert ft.reversed().key() == ("10.0.0.2", "10.0.0.1", 80, 5001)
+
+
+class TestUdp:
+    def test_length(self):
+        d = UdpDatagram(src="SRV", dst="C1", payload_bytes=1472)
+        assert d.byte_length == 1500
+        assert d.kind == "udp"

@@ -1,0 +1,200 @@
+"""NewReno sender: slow start, CA, fast retransmit/recovery, RTO."""
+
+import pytest
+
+from repro.sim.engine import Simulator
+from repro.sim.units import MS, SEC
+from repro.tcp.segment import TcpSegment
+from repro.tcp.sender import TcpSender
+
+MSS = 1460
+
+
+def make_sender(sim, total=None, **kw):
+    sent = []
+    sender = TcpSender(sim, 1, "SRV", "C1", output=sent.append,
+                       total_bytes=total, **kw)
+    return sender, sent
+
+
+def ack_for(sender, ack, ts_ecr=0, rwnd=1 << 30):
+    return TcpSegment(flow_id=1, src="C1", dst="SRV", seq=0,
+                      payload_bytes=0, ack=ack, rwnd=rwnd,
+                      ts_val=0, ts_ecr=ts_ecr)
+
+
+class TestSlowStart:
+    def test_initial_window(self, sim):
+        sender, sent = make_sender(sim, initial_cwnd_segments=2)
+        sender.start()
+        assert len(sent) == 2
+        assert sent[0].seq == 0 and sent[1].seq == MSS
+
+    def test_cwnd_grows_per_ack(self, sim):
+        sender, sent = make_sender(sim)
+        sender.start()
+        sender.on_ack(ack_for(sender, MSS))
+        assert sender.cwnd == 3 * MSS
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        assert sender.cwnd == 4 * MSS
+
+    def test_ack_releases_new_segments(self, sim):
+        sender, sent = make_sender(sim)
+        sender.start()
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        # cwnd grew to 3 MSS (byte counting), una = 2 MSS: the highest
+        # outstanding segment starts at 4 MSS.
+        assert sent[-1].seq == 4 * MSS
+
+    def test_delayed_ack_covering_two_segments(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        # Byte counting caps growth at 1 MSS per ACK.
+        assert sender.cwnd == 3 * MSS
+
+
+class TestCongestionAvoidance:
+    def test_linear_growth_past_ssthresh(self, sim):
+        sender, _ = make_sender(sim, initial_ssthresh_bytes=4 * MSS)
+        sender.cwnd = 4 * MSS
+        sender.start()
+        # One full window of ACKs grows cwnd by ~1 MSS.
+        for i in range(1, 5):
+            sender.on_ack(ack_for(sender, i * MSS))
+        assert sender.cwnd == pytest.approx(5 * MSS, abs=MSS // 2)
+
+
+class TestFastRetransmit:
+    def prime(self, sim, segments=10):
+        sender, sent = make_sender(sim, initial_cwnd_segments=10)
+        sender.start()
+        assert len(sent) == segments
+        return sender, sent
+
+    def test_three_dupacks_trigger_retransmit(self, sim):
+        sender, sent = self.prime(sim)
+        before = len(sent)
+        for _ in range(3):
+            sender.on_ack(ack_for(sender, 0))
+        retx = [s for s in sent[before:] if s.seq == 0]
+        assert len(retx) == 1
+        assert sender.fast_retransmits == 1
+        assert sender.in_recovery
+
+    def test_two_dupacks_do_not(self, sim):
+        sender, sent = self.prime(sim)
+        before = len(sent)
+        for _ in range(2):
+            sender.on_ack(ack_for(sender, 0))
+        assert all(s.seq != 0 for s in sent[before:])
+
+    def test_ssthresh_halves_flight(self, sim):
+        sender, _ = self.prime(sim)
+        flight = sender.flight_size
+        for _ in range(3):
+            sender.on_ack(ack_for(sender, 0))
+        assert sender.ssthresh == flight // 2
+
+    def test_full_ack_exits_recovery(self, sim):
+        sender, _ = self.prime(sim)
+        recover_target = sender.snd_nxt
+        for _ in range(3):
+            sender.on_ack(ack_for(sender, 0))
+        sender.on_ack(ack_for(sender, recover_target))
+        assert not sender.in_recovery
+        assert sender.cwnd == sender.ssthresh
+
+    def test_partial_ack_retransmits_next_hole(self, sim):
+        sender, sent = self.prime(sim)
+        for _ in range(3):
+            sender.on_ack(ack_for(sender, 0))
+        before = len(sent)
+        sender.on_ack(ack_for(sender, 2 * MSS))  # partial
+        assert sender.in_recovery
+        retx = [s for s in sent[before:] if s.seq == 2 * MSS]
+        assert len(retx) == 1
+
+    def test_dupacks_inflate_cwnd(self, sim):
+        sender, _ = self.prime(sim)
+        for _ in range(3):
+            sender.on_ack(ack_for(sender, 0))
+        cwnd = sender.cwnd
+        sender.on_ack(ack_for(sender, 0))
+        assert sender.cwnd == cwnd + MSS
+
+
+class TestRto:
+    def test_rto_fires_and_retransmits(self, sim):
+        sender, sent = make_sender(sim)
+        sender.start()
+        sim.run(until=3 * SEC)
+        assert sender.timeouts >= 1
+        assert any(s.seq == 0 for s in sent[2:])
+        assert sender.cwnd == MSS
+
+    def test_rto_backoff_doubles(self, sim):
+        sender, _ = make_sender(sim)
+        sender.start()
+        sim.run(until=4 * SEC)
+        assert sender.timeouts >= 2
+        assert sender._backoff >= 4
+
+    def test_ack_cancels_rto(self, sim):
+        sender, _ = make_sender(sim, total=2 * MSS)
+        sender.start()
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        sim.run(until=5 * SEC)
+        assert sender.timeouts == 0
+
+    def test_rtt_sampling_from_timestamps(self, sim):
+        sender, sent = make_sender(sim)
+        sim.schedule(10 * MS, sender.start)
+        sim.run(until=50 * MS)  # start at 10 ms, ack arrives at 50 ms
+        ts = sent[0].ts_val
+        assert ts == 10  # milliseconds
+        sender.on_ack(ack_for(sender, MSS, ts_ecr=ts))
+        assert sender.srtt_ns == pytest.approx(40 * MS, rel=0.1)
+        assert sender.rto_ns >= sender.min_rto_ns
+
+
+class TestFlowControl:
+    def test_receiver_window_limits(self, sim):
+        sender, sent = make_sender(sim, initial_cwnd_segments=10)
+        sender.peer_rwnd = 3 * MSS
+        sender.start()
+        assert len(sent) == 3
+
+    def test_window_update_releases(self, sim):
+        sender, sent = make_sender(sim, initial_cwnd_segments=10)
+        sender.peer_rwnd = 2 * MSS
+        sender.start()
+        sender.on_ack(ack_for(sender, 0, rwnd=8 * MSS))
+        assert len(sent) > 2
+
+
+class TestCompletion:
+    def test_finite_transfer_completes(self, sim):
+        done = []
+        sender = TcpSender(sim, 1, "SRV", "C1",
+                           output=lambda s: None, total_bytes=3 * MSS,
+                           on_complete=lambda: done.append(sim.now))
+        sender.start()
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        sender.on_ack(ack_for(sender, 3 * MSS))
+        assert sender.completed
+        assert done
+
+    def test_short_tail_segment(self, sim):
+        sender, sent = make_sender(sim, total=MSS + 100)
+        sender.start()
+        assert sent[1].payload_bytes == 100
+
+    def test_old_acks_ignored(self, sim):
+        sender, sent = make_sender(sim)
+        sender.start()
+        sender.on_ack(ack_for(sender, 2 * MSS))
+        count = len(sent)
+        sender.on_ack(ack_for(sender, MSS))  # stale
+        assert len(sent) == count
+        assert sender.snd_una == 2 * MSS

@@ -1,0 +1,77 @@
+"""Multi-flow scenarios and the top-level CLI."""
+
+import pytest
+
+from repro import HackPolicy, ScenarioConfig, run_scenario
+from repro.cli import main as cli_main
+from repro.sim.units import MS, SEC
+
+
+class TestFlowsPerClient:
+    def test_flow_count(self):
+        res = run_scenario(ScenarioConfig(
+            phy_mode="11n", data_rate_mbps=150.0, n_clients=2,
+            flows_per_client=2, policy=HackPolicy.MORE_DATA,
+            duration_ns=1500 * MS, warmup_ns=700 * MS,
+            stagger_ns=20 * MS))
+        assert sorted(res.per_flow_goodput_mbps) == [1, 2, 3, 4]
+
+    def test_flows_share_capacity_fairly(self):
+        res = run_scenario(ScenarioConfig(
+            phy_mode="11n", data_rate_mbps=150.0, n_clients=1,
+            flows_per_client=3, policy=HackPolicy.MORE_DATA,
+            duration_ns=2 * SEC, warmup_ns=1 * SEC,
+            stagger_ns=20 * MS))
+        assert res.fairness_index > 0.8
+        assert res.aggregate_goodput_mbps > 90
+
+    def test_ap_queue_scales_with_flows(self):
+        # The paper sizes the AP queue per *flow*; with three flows the
+        # slow-start overshoot of one flow must not starve the others.
+        res = run_scenario(ScenarioConfig(
+            phy_mode="11n", data_rate_mbps=150.0, n_clients=1,
+            flows_per_client=3, policy=HackPolicy.VANILLA,
+            duration_ns=2 * SEC, warmup_ns=1 * SEC,
+            stagger_ns=20 * MS))
+        assert min(res.per_flow_goodput_mbps.values()) > 5
+
+    def test_distinct_five_tuples(self):
+        res = run_scenario(ScenarioConfig(
+            phy_mode="11n", n_clients=1, flows_per_client=2,
+            duration_ns=600 * MS, warmup_ns=300 * MS,
+            stagger_ns=10 * MS))
+        tuples = {f.sender.five_tuple.key() for f in res.flows}
+        assert len(tuples) == 2
+
+
+class TestCli:
+    def test_simulate_prints_report(self, capsys):
+        code = cli_main([
+            "simulate", "--phy", "11n", "--rate", "150",
+            "--policy", "more_data", "--duration", "1",
+            "--warmup", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "aggregate goodput" in out
+        assert "HACK ACKs" in out
+        assert "fairness" in out
+
+    def test_simulate_vanilla_no_hack_line(self, capsys):
+        cli_main(["simulate", "--policy", "vanilla",
+                  "--duration", "1", "--warmup", "0.5"])
+        out = capsys.readouterr().out
+        assert "HACK ACKs" not in out
+
+    def test_simulate_with_loss_and_aarf(self, capsys):
+        code = cli_main([
+            "simulate", "--snr", "20", "--aarf", "--duration", "1",
+            "--warmup", "0.5"])
+        assert code == 0
+
+    def test_experiments_forwarding(self, capsys):
+        assert cli_main(["experiments", "fig01"]) == 0
+        assert "Figure 1a" in capsys.readouterr().out
+
+    def test_rejects_unknown_command(self):
+        with pytest.raises(SystemExit):
+            cli_main(["bogus"])
