@@ -2,7 +2,7 @@
 
 from repro.experiments import ablations
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_policy_ablation(benchmark):

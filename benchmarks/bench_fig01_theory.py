@@ -2,7 +2,7 @@
 
 from repro.experiments import fig01
 
-from .conftest import run_once
+from benchmarks.conftest import run_once
 
 
 def test_fig01_theory(benchmark):

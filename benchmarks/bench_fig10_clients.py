@@ -2,7 +2,7 @@
 
 from repro.experiments import fig10
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_fig10_clients(benchmark):

@@ -4,7 +4,7 @@ import statistics
 
 from repro.experiments import fig11
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_fig11_snr(benchmark):

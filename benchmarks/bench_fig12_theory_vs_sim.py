@@ -2,7 +2,7 @@
 
 from repro.experiments import fig12
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_fig12_theory_vs_sim(benchmark):

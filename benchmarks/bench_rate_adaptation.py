@@ -12,7 +12,7 @@ from repro.experiments import fig11
 from repro.experiments.common import format_table
 from repro.sim.units import MS, SEC
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 SNRS = (10.0, 14.0, 18.0, 22.0, 26.0, 30.0)
 

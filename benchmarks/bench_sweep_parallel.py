@@ -1,0 +1,50 @@
+"""Sweep-engine throughput: serial vs process-pool execution.
+
+Measures the same 8-cell grid (2 client counts x 2 policies x 2 seeds)
+through the serial reference path and a worker pool, and asserts the
+two produce identical aggregates.  On multi-core hosts the pool run
+should approach `cells / workers` of the serial wall-clock; on one
+core it documents the (small) fan-out overhead instead.
+"""
+
+import os
+
+from repro.core.policies import HackPolicy
+from repro.experiments.batch import SweepRunner, SweepSpec
+from repro.sim.units import MS, SEC
+
+from benchmarks.conftest import FULL, run_once
+
+DURATIONS = dict(duration_ns=2 * SEC, warmup_ns=1 * SEC) if FULL \
+    else dict(duration_ns=600 * MS, warmup_ns=300 * MS)
+
+
+def _spec() -> SweepSpec:
+    return SweepSpec.grid(
+        "bench-sweep",
+        dict(stagger_ns=0, **DURATIONS),
+        {"n_clients": [1, 2],
+         "policy": [HackPolicy.VANILLA, HackPolicy.MORE_DATA]},
+        seeds=(1, 2))
+
+
+def test_sweep_serial(benchmark):
+    result = run_once(benchmark, lambda: SweepRunner().run(_spec()))
+    assert result.executed == 8
+
+
+def test_sweep_parallel(benchmark):
+    jobs = min(4, os.cpu_count() or 1)
+    parallel = run_once(
+        benchmark, lambda: SweepRunner(jobs=jobs).run(_spec()))
+    serial = SweepRunner().run(_spec())
+    assert parallel.aggregate("aggregate_goodput_mbps") == \
+        serial.aggregate("aggregate_goodput_mbps")
+
+
+def test_sweep_cache_warm(benchmark, tmp_path):
+    SweepRunner(cache_dir=tmp_path).run(_spec())   # populate
+    result = run_once(
+        benchmark, lambda: SweepRunner(cache_dir=tmp_path).run(_spec()))
+    assert result.executed == 0
+    assert result.cache_hits == 8

@@ -2,7 +2,7 @@
 
 from repro.experiments import fig09
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_table1_retries(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments import table2
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_table2_compression(benchmark):

@@ -2,7 +2,7 @@
 
 from repro.experiments import table3
 
-from .conftest import FULL, run_once
+from benchmarks.conftest import FULL, run_once
 
 
 def test_table3_overheads(benchmark):

@@ -159,24 +159,41 @@ def hack_goodput_11n(rate_mbps: float, mss: int = 1460,
 # ----------------------------------------------------------------------
 # Figure-level sweeps
 # ----------------------------------------------------------------------
+def figure_1a_point(rate: float) -> CapacityPoint:
+    """Theoretical goodput at one 802.11a rate (a Fig 1a cell)."""
+    return CapacityPoint(rate, tcp_goodput_11a(rate),
+                         hack_goodput_11a(rate))
+
+
 def figure_1a(rates: Iterable[float] = PHY_11A.data_rates
               ) -> List[CapacityPoint]:
     """Theoretical goodput for 802.11a rates (Fig 1a)."""
-    return [CapacityPoint(r, tcp_goodput_11a(r), hack_goodput_11a(r))
-            for r in rates]
+    return [figure_1a_point(r) for r in rates]
+
+
+def figure_1b_rates(max_streams: int = 4) -> List[float]:
+    """The HT rate set Fig 1b sweeps (1..max_streams spatial streams)."""
+    from ..phy.params import ht_rates_for_streams
+    return sorted({r for s in range(1, max_streams + 1)
+                   for r in ht_rates_for_streams(s)})
+
+
+def figure_1b_point(rate: float,
+                    max_streams: int = 4) -> CapacityPoint:
+    """Theoretical goodput at one 802.11n rate (a Fig 1b cell).
+
+    The PHY's rate ladder spans the whole figure, so the control-rate
+    selection matches the multi-stream sweep it belongs to."""
+    from ..phy.params import phy_11n_with_rates
+    phy = phy_11n_with_rates(tuple(figure_1b_rates(max_streams)))
+    params = MacParams(data_rate_mbps=rate, aggregation=True)
+    return CapacityPoint(
+        rate,
+        tcp_goodput_11n(rate, phy=phy, params=params),
+        hack_goodput_11n(rate, phy=phy, params=params))
 
 
 def figure_1b(max_streams: int = 4) -> List[CapacityPoint]:
     """Theoretical goodput for 802.11n rates up to 600 Mbps (Fig 1b)."""
-    from ..phy.params import ht_rates_for_streams, phy_11n_with_rates
-    rates = sorted({r for s in range(1, max_streams + 1)
-                    for r in ht_rates_for_streams(s)})
-    phy = phy_11n_with_rates(tuple(rates))
-    points = []
-    for rate in rates:
-        params = MacParams(data_rate_mbps=rate, aggregation=True)
-        points.append(CapacityPoint(
-            rate,
-            tcp_goodput_11n(rate, phy=phy, params=params),
-            hack_goodput_11n(rate, phy=phy, params=params)))
-    return points
+    return [figure_1b_point(rate, max_streams)
+            for rate in figure_1b_rates(max_streams)]

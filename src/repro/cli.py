@@ -1,25 +1,39 @@
 """Top-level command-line interface.
 
-Two subcommands::
+Four subcommands::
 
     python -m repro.cli simulate --phy 11n --rate 150 --clients 4 \\
         --policy more_data --duration 4 --seed 2
+    python -m repro.cli simulate --scenario wireless-backup
+    python -m repro.cli scenarios
     python -m repro.cli experiments fig10 fig11 --quick
+    python -m repro.cli sweep all --quick --jobs 4 --out results.json
+    python -m repro.cli sweep scenario:multi-client --seeds 5 --jobs 2
 
-``simulate`` runs one scenario and prints a human-readable report;
-``experiments`` forwards to :mod:`repro.experiments.runner`.
+``simulate`` runs one scenario (ad-hoc flags or a registry name) and
+prints a human-readable report; ``scenarios`` lists the registry;
+``experiments`` forwards to :mod:`repro.experiments.runner`; ``sweep``
+executes experiment grids or registered scenarios through the parallel
+sweep engine, with per-cell caching and JSON artifacts.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
+import time
 from typing import List, Optional
 
 from .core.policies import HackPolicy
 from .experiments import runner as experiments_runner
+from .experiments.batch import SweepResult
+from .experiments.common import format_table
 from .sim.units import MS, SEC, usec
+from .workloads import registry
+from .workloads.registry import UnknownScenarioError
 from .workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
+
+SCENARIO_PREFIX = "scenario:"
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -29,6 +43,10 @@ def _build_parser() -> argparse.ArgumentParser:
     sub = parser.add_subparsers(dest="command", required=True)
 
     sim = sub.add_parser("simulate", help="run one scenario")
+    sim.add_argument("--scenario", default=None,
+                     help="start from a registered scenario "
+                          "(see `repro scenarios`); other flags "
+                          "except --seed are ignored")
     sim.add_argument("--phy", choices=("11a", "11n"), default="11n")
     sim.add_argument("--rate", type=float, default=150.0,
                      help="PHY data rate in Mbps")
@@ -55,36 +73,58 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--sora", action="store_true",
                      help="emulate SoRa's late LL ACKs")
 
+    sub.add_parser("scenarios", help="list registered scenarios")
+
     exp = sub.add_parser("experiments",
                          help="reproduce paper tables/figures")
     exp.add_argument("names", nargs="+",
                      choices=sorted(experiments_runner.EXPERIMENTS)
                      + ["all"])
     exp.add_argument("--quick", action="store_true")
+
+    sweep = sub.add_parser(
+        "sweep",
+        help="run experiment grids / scenario seed-sweeps in parallel")
+    sweep.add_argument(
+        "names", nargs="+",
+        help="experiment names, 'all', or "
+             f"'{SCENARIO_PREFIX}<registered-scenario>'")
+    experiments_runner.add_sweep_arguments(sweep)
+    sweep.add_argument("--seeds", type=int, default=5, metavar="N",
+                       help="seeds per scenario sweep (default 5, "
+                            "--quick forces 1; experiments use their "
+                            "own seed policy)")
     return parser
 
 
 def _simulate(args: argparse.Namespace) -> int:
-    duration = int(args.duration * SEC)
-    warmup = int(args.warmup * SEC) if args.warmup is not None \
-        else duration // 2
-    if args.snr is not None:
-        loss = LossSpec(kind="snr", snr_db=args.snr)
-    elif args.loss > 0:
-        loss = LossSpec(kind="uniform", data_loss=args.loss)
+    if args.scenario is not None:
+        try:
+            config = registry.build(args.scenario, seed=args.seed)
+        except UnknownScenarioError as error:
+            print(f"error: {error.args[0]}", file=sys.stderr)
+            return 2
     else:
-        loss = LossSpec()
-    config = ScenarioConfig(
-        phy_mode=args.phy, data_rate_mbps=args.rate,
-        n_clients=args.clients,
-        flows_per_client=args.flows_per_client,
-        policy=HackPolicy(args.policy), traffic=args.traffic,
-        duration_ns=duration, warmup_ns=warmup, seed=args.seed,
-        loss=loss,
-        rate_adaptation="aarf" if args.aarf else None,
-        extra_response_delay_ns=usec(37) if args.sora else 0,
-        ack_timeout_extra_ns=usec(60) if args.sora else 0,
-        stagger_ns=50 * MS)
+        duration = int(args.duration * SEC)
+        warmup = int(args.warmup * SEC) if args.warmup is not None \
+            else duration // 2
+        if args.snr is not None:
+            loss = LossSpec(kind="snr", snr_db=args.snr)
+        elif args.loss > 0:
+            loss = LossSpec(kind="uniform", data_loss=args.loss)
+        else:
+            loss = LossSpec()
+        config = ScenarioConfig(
+            phy_mode=args.phy, data_rate_mbps=args.rate,
+            n_clients=args.clients,
+            flows_per_client=args.flows_per_client,
+            policy=HackPolicy(args.policy), traffic=args.traffic,
+            duration_ns=duration, warmup_ns=warmup, seed=args.seed,
+            loss=loss,
+            rate_adaptation="aarf" if args.aarf else None,
+            extra_response_delay_ns=usec(37) if args.sora else 0,
+            ack_timeout_extra_ns=usec(60) if args.sora else 0,
+            stagger_ns=50 * MS)
     result = run_scenario(config)
     print(f"aggregate goodput : "
           f"{result.aggregate_goodput_mbps:8.2f} Mbps")
@@ -109,10 +149,92 @@ def _simulate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _scenarios(_args: argparse.Namespace) -> int:
+    for entry in registry.describe_all():
+        print(f"{entry['name']:<16} {entry['description']}")
+    return 0
+
+
+def _print_scenario_sweep(name: str, result: SweepResult) -> None:
+    cell = result.cell((name,), "aggregate_goodput_mbps")
+    fairness = result.cell((name,), "fairness_index")
+    print(format_table(
+        ["scenario", "runs", "goodput (Mbps)", "stdev", "fairness"],
+        [[name, str(cell["runs"]), f"{cell['mean']:.2f}",
+          f"{cell['stdev']:.2f}", f"{fairness['mean']:.4f}"]],
+        title=f"Sweep: {name}"))
+
+
+def _sweep(args: argparse.Namespace) -> int:
+    if args.seeds < 1:
+        print("error: --seeds must be >= 1", file=sys.stderr)
+        return 2
+    experiment_names: List[str] = []
+    scenario_names: List[str] = []
+    for name in args.names:
+        if name.startswith(SCENARIO_PREFIX):
+            scenario = name[len(SCENARIO_PREFIX):]
+            try:
+                registry.get(scenario)
+            except UnknownScenarioError as error:
+                print(f"error: {error.args[0]}", file=sys.stderr)
+                return 2
+            scenario_names.append(scenario)
+        elif name == "all":
+            experiment_names.extend(
+                sorted(experiments_runner.EXPERIMENTS))
+        elif name in experiments_runner.EXPERIMENTS:
+            experiment_names.append(name)
+        elif name in registry.names():
+            scenario_names.append(name)
+        else:
+            print(f"unknown sweep target {name!r}: expected an "
+                  f"experiment "
+                  f"({', '.join(sorted(experiments_runner.EXPERIMENTS))}"
+                  f", all) or a registered scenario "
+                  f"({', '.join(registry.names())})", file=sys.stderr)
+            return 2
+
+    experiment_names = list(dict.fromkeys(experiment_names))
+    scenario_names = list(dict.fromkeys(scenario_names))
+    sweep_runner = experiments_runner.make_runner(args)
+    artifacts = {}
+    for name in experiment_names:
+        module = experiments_runner.EXPERIMENTS[name]
+        started = time.time()
+        result = sweep_runner.run(module.sweep_spec(quick=args.quick))
+        rows = module.rows_from_sweep(result)
+        elapsed = time.time() - started
+        print(module.format_rows(rows))
+        print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "
+              f"({result.executed} run, {result.cache_hits} cached)]\n")
+        artifacts[name] = result.to_json_dict()
+    for name in scenario_names:
+        # --quick keeps its runner meaning for scenarios: one seed
+        # (scenario durations come from the registry, not --quick).
+        seeds = (1,) if args.quick else \
+            tuple(range(1, args.seeds + 1))
+        started = time.time()
+        result = sweep_runner.run(registry.sweep_spec(name, seeds))
+        elapsed = time.time() - started
+        _print_scenario_sweep(name, result)
+        print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "
+              f"({result.executed} run, {result.cache_hits} cached)]\n")
+        artifacts[f"{SCENARIO_PREFIX}{name}"] = result.to_json_dict()
+    if args.out:
+        experiments_runner.write_artifacts(args.out, artifacts)
+        print(f"wrote sweep records to {args.out}")
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
         return _simulate(args)
+    if args.command == "scenarios":
+        return _scenarios(args)
+    if args.command == "sweep":
+        return _sweep(args)
     forwarded = list(args.names)
     if args.quick:
         forwarded.append("--quick")

@@ -10,17 +10,61 @@
 3. **AP buffer ablation** (§4.3's queue-sizing discussion): HACK needs
    enough buffering for the MORE DATA bit to be set; tiny queues starve
    both schemes, large ones add loss-free latency only.
+
+All four dimensions are declared as one :class:`SweepSpec` grid so the
+whole ablation suite fans out across workers in a single batch.
 """
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.policies import HackPolicy
 from ..sim.units import msec, usec
-from ..workloads.scenarios import ScenarioConfig, run_scenario
-from .common import format_table, seeds_for, steady_state_durations
+from ..workloads.scenarios import ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
+from .common import seeds_for, steady_state_durations, format_table
+
+#: (label, config overrides) per policy-ablation variant.
+POLICY_VARIANTS: Tuple[Tuple[str, Dict], ...] = (
+    ("stock TCP", dict(policy=HackPolicy.VANILLA)),
+    ("opportunistic", dict(policy=HackPolicy.OPPORTUNISTIC)),
+    ("explicit timer 1ms",
+     dict(policy=HackPolicy.EXPLICIT_TIMER, explicit_timer_ns=msec(1))),
+    ("explicit timer 5ms",
+     dict(policy=HackPolicy.EXPLICIT_TIMER, explicit_timer_ns=msec(5))),
+    ("explicit timer 50ms",
+     dict(policy=HackPolicy.EXPLICIT_TIMER,
+          explicit_timer_ns=msec(50))),
+    ("MORE DATA", dict(policy=HackPolicy.MORE_DATA)),
+    ("MORE DATA + stall guard",
+     dict(policy=HackPolicy.MORE_DATA, stall_guard_ns=msec(100))),
+    ("TS_ECHO (§5 future work)", dict(policy=HackPolicy.TS_ECHO)),
+)
+
+#: TCP-vs-HACK comparison dimensions: (label, config overrides).
+TXOP_VARIANTS: Tuple[Tuple[str, Dict], ...] = (
+    ("4 ms (default)", dict(txop_limit_ns=msec(4))),
+    ("2 ms", dict(txop_limit_ns=msec(2))),
+    ("1 ms", dict(txop_limit_ns=msec(1))),
+    ("0.5 ms", dict(txop_limit_ns=usec(500))),
+)
+BUFFER_VARIANTS: Tuple[Tuple[str, Dict], ...] = tuple(
+    (f"{queue} pkts", dict(ap_queue_per_client=queue))
+    for queue in (16, 42, 126, 378))
+DELACK_VARIANTS: Tuple[Tuple[str, Dict], ...] = (
+    ("delayed ACKs on", dict(delayed_ack=True)),
+    ("delayed ACKs off", dict(delayed_ack=False)),
+)
+
+#: §2.1 footnote: delayed ACKs are the *best case* for stock WiFi
+#: ("were delayed ACK not used, a TCP receiver would generate twice as
+#: many ACK packets, and the WiFi MAC would incur significantly more
+#: medium acquisitions") — so disabling them widens HACK's advantage.
+COMPARISON_GROUPS: Tuple[Tuple[str, Tuple[Tuple[str, Dict], ...]], ...] \
+    = (("txop", TXOP_VARIANTS), ("buffer", BUFFER_VARIANTS),
+       ("delack", DELACK_VARIANTS))
+ALL_GROUPS = ("policy", "txop", "buffer", "delack")
 
 
 def _base(quick: bool, seed: int, **kw) -> ScenarioConfig:
@@ -32,89 +76,84 @@ def _base(quick: bool, seed: int, **kw) -> ScenarioConfig:
     return ScenarioConfig(**defaults)
 
 
-def _mean_goodput(quick: bool, **kw) -> float:
-    return statistics.fmean(
-        run_scenario(_base(quick, seed, **kw)).aggregate_goodput_mbps
-        for seed in seeds_for(quick))
+def sweep_spec(quick: bool = False,
+               groups: Sequence[str] = ALL_GROUPS) -> SweepSpec:
+    spec = SweepSpec("ablations")
+    comparisons = dict(COMPARISON_GROUPS)
+    for group in groups:
+        if group == "policy":
+            for label, kw in POLICY_VARIANTS:
+                for seed in seeds_for(quick):
+                    spec.add_scenario(("policy", label, "goodput"),
+                                      _base(quick, seed, **kw))
+            continue
+        for label, kw in comparisons[group]:
+            for scheme, policy in (("tcp", HackPolicy.VANILLA),
+                                   ("hack", HackPolicy.MORE_DATA)):
+                for seed in seeds_for(quick):
+                    spec.add_scenario(
+                        (group, label, scheme),
+                        _base(quick, seed, policy=policy, **kw))
+    return spec
 
 
-def run_policy_ablation(quick: bool = False) -> List[Dict]:
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
     rows: List[Dict] = []
-    variants = [
-        ("stock TCP", dict(policy=HackPolicy.VANILLA)),
-        ("opportunistic", dict(policy=HackPolicy.OPPORTUNISTIC)),
-        ("explicit timer 1ms",
-         dict(policy=HackPolicy.EXPLICIT_TIMER,
-              explicit_timer_ns=msec(1))),
-        ("explicit timer 5ms",
-         dict(policy=HackPolicy.EXPLICIT_TIMER,
-              explicit_timer_ns=msec(5))),
-        ("explicit timer 50ms",
-         dict(policy=HackPolicy.EXPLICIT_TIMER,
-              explicit_timer_ns=msec(50))),
-        ("MORE DATA", dict(policy=HackPolicy.MORE_DATA)),
-        ("MORE DATA + stall guard",
-         dict(policy=HackPolicy.MORE_DATA, stall_guard_ns=msec(100))),
-        ("TS_ECHO (§5 future work)",
-         dict(policy=HackPolicy.TS_ECHO)),
-    ]
-    for label, kw in variants:
-        rows.append({"ablation": "policy", "variant": label,
-                     "goodput_mbps": _mean_goodput(quick, **kw)})
-    return rows
-
-
-def run_txop_ablation(quick: bool = False) -> List[Dict]:
-    rows: List[Dict] = []
-    for label, txop in (("4 ms (default)", msec(4)),
-                        ("2 ms", msec(2)),
-                        ("1 ms", msec(1)),
-                        ("0.5 ms", usec(500))):
-        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
-                            txop_limit_ns=txop)
-        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
-                             txop_limit_ns=txop)
-        rows.append({"ablation": "txop", "variant": label,
+    done = set()
+    for group, label, _ in result.keys():
+        if (group, label) in done:
+            continue
+        done.add((group, label))
+        if group == "policy":
+            rows.append({
+                "ablation": "policy", "variant": label,
+                "goodput_mbps": result.cell(
+                    ("policy", label, "goodput"),
+                    "aggregate_goodput_mbps")["mean"]})
+            continue
+        tcp = result.cell((group, label, "tcp"),
+                          "aggregate_goodput_mbps")["mean"]
+        hack = result.cell((group, label, "hack"),
+                           "aggregate_goodput_mbps")["mean"]
+        rows.append({"ablation": group, "variant": label,
                      "tcp_mbps": tcp, "hack_mbps": hack,
                      "improvement_pct": 100 * (hack / tcp - 1)})
     return rows
 
 
-def run_delack_ablation(quick: bool = False) -> List[Dict]:
-    """§2.1 footnote: delayed ACKs are the *best case* for stock WiFi
-    ("were delayed ACK not used, a TCP receiver would generate twice
-    as many ACK packets, and the WiFi MAC would incur significantly
-    more medium acquisitions") — so disabling them should widen
-    HACK's advantage."""
-    rows: List[Dict] = []
-    for label, delack in (("delayed ACKs on", True),
-                          ("delayed ACKs off", False)):
-        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
-                            delayed_ack=delack)
-        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
-                             delayed_ack=delack)
-        rows.append({"ablation": "delack", "variant": label,
-                     "tcp_mbps": tcp, "hack_mbps": hack,
-                     "improvement_pct": 100 * (hack / tcp - 1)})
-    return rows
+def _run_groups(quick: bool, groups: Sequence[str],
+                runner: Optional[SweepRunner]) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick, groups)))
 
 
-def run_buffer_ablation(quick: bool = False) -> List[Dict]:
-    rows: List[Dict] = []
-    for queue in (16, 42, 126, 378):
-        tcp = _mean_goodput(quick, policy=HackPolicy.VANILLA,
-                            ap_queue_per_client=queue)
-        hack = _mean_goodput(quick, policy=HackPolicy.MORE_DATA,
-                             ap_queue_per_client=queue)
-        rows.append({"ablation": "buffer", "variant": f"{queue} pkts",
-                     "tcp_mbps": tcp, "hack_mbps": hack,
-                     "improvement_pct": 100 * (hack / tcp - 1)})
-    return rows
+def run_policy_ablation(quick: bool = False,
+                        runner: Optional[SweepRunner] = None
+                        ) -> List[Dict]:
+    return _run_groups(quick, ("policy",), runner)
 
 
-def run(quick: bool = False) -> List[Dict]:
-    return (run_policy_ablation(quick) + run_txop_ablation(quick)
-            + run_buffer_ablation(quick) + run_delack_ablation(quick))
+def run_txop_ablation(quick: bool = False,
+                      runner: Optional[SweepRunner] = None
+                      ) -> List[Dict]:
+    return _run_groups(quick, ("txop",), runner)
+
+
+def run_buffer_ablation(quick: bool = False,
+                        runner: Optional[SweepRunner] = None
+                        ) -> List[Dict]:
+    return _run_groups(quick, ("buffer",), runner)
+
+
+def run_delack_ablation(quick: bool = False,
+                        runner: Optional[SweepRunner] = None
+                        ) -> List[Dict]:
+    return _run_groups(quick, ("delack",), runner)
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    return _run_groups(quick, ALL_GROUPS, runner)
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -1,0 +1,396 @@
+"""Parallel sweep engine: declarative experiment grids, executed in batch.
+
+Every paper artifact is a *sweep*: a grid of :class:`ScenarioConfig`
+variations crossed with seeds, each cell averaged exactly as
+``common.averaged`` does.  This module makes that structure explicit
+and executable in parallel:
+
+* :class:`SweepSpec` — a named, ordered collection of
+  :class:`SweepPoint`\\ s.  A point is either a **scenario** (one
+  ``ScenarioConfig``, i.e. one simulator run) or **analytic** (a
+  dotted reference to a pure function returning a metrics dict, used
+  by closed-form artifacts like Figure 1).
+* :class:`SweepRunner` — executes a spec either serially (the default,
+  bit-identical to the historical per-module loops) or fanned out
+  across processes via :class:`concurrent.futures.ProcessPoolExecutor`
+  (``jobs=N``).  Identical seeds produce identical metrics either way.
+* :class:`SweepCache` — content-hash cache: each point is keyed by a
+  SHA-256 over its canonical JSON description, so re-running a sweep
+  whose cells did not change costs nothing.
+* :class:`SweepResult` — per-point metric records plus per-cell
+  mean/stdev aggregation, persistable to/reloadable from JSON.
+
+Workers rebuild the whole simulation from the (picklable) config, so
+nothing stateful crosses process boundaries except plain dicts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import importlib
+import json
+import os
+import statistics
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Mapping, \
+    Optional, Sequence, Tuple, Union
+
+from ..workloads.scenarios import ScenarioConfig, ScenarioResult, \
+    run_scenario
+
+#: Bump to invalidate every cached cell (simulator semantics changed).
+ENGINE_VERSION = 1
+
+Key = Tuple[Any, ...]
+Metrics = Dict[str, Any]
+
+
+def _normalise_key(key: Iterable[Any]) -> Key:
+    """Cell keys must survive a JSON round-trip; map enums to values."""
+    return tuple(k.value if isinstance(k, enum.Enum) else k
+                 for k in key)
+
+
+# ----------------------------------------------------------------------
+# Points and specs
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SweepPoint:
+    """One unit of work: a cell key plus how to produce its metrics.
+
+    ``key`` identifies the *cell* (axis coordinates); several points
+    may share a key (one per seed) and are averaged together.
+    """
+
+    key: Key
+    config: Optional[ScenarioConfig] = None
+    fn: Optional[str] = None             # "pkg.module:function"
+    fn_kwargs: Tuple[Tuple[str, Any], ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return "scenario" if self.config is not None else "analytic"
+
+    @property
+    def seed(self) -> Optional[int]:
+        return self.config.seed if self.config is not None else None
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (the cache identity)."""
+        if self.config is not None:
+            payload: Dict[str, Any] = {
+                "kind": "scenario",
+                "config": dataclasses.asdict(self.config),
+            }
+        else:
+            payload = {"kind": "analytic", "fn": self.fn,
+                       "kwargs": dict(self.fn_kwargs)}
+        payload["engine"] = ENGINE_VERSION
+        return payload
+
+
+def _canonical_json(payload: Any) -> str:
+    def default(obj: Any) -> Any:
+        if isinstance(obj, enum.Enum):
+            return obj.value
+        raise TypeError(f"not JSON-serialisable: {obj!r}")
+
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"),
+                      default=default)
+
+
+def point_signature(point: SweepPoint) -> str:
+    """Content hash identifying one point (config + engine version)."""
+    return hashlib.sha256(
+        _canonical_json(point.describe()).encode()).hexdigest()
+
+
+@dataclass
+class SweepSpec:
+    """A named, ordered grid of sweep points."""
+
+    name: str
+    points: List[SweepPoint] = field(default_factory=list)
+
+    def add_scenario(self, key: Key, config: ScenarioConfig) -> None:
+        self.points.append(SweepPoint(key=_normalise_key(key),
+                                      config=config))
+
+    def add_analytic(self, key: Key, fn: str, **kwargs: Any) -> None:
+        self.points.append(SweepPoint(
+            key=_normalise_key(key), fn=fn,
+            fn_kwargs=tuple(sorted(kwargs.items()))))
+
+    def keys(self) -> List[Key]:
+        """Distinct cell keys in first-appearance order."""
+        seen: Dict[Key, None] = {}
+        for point in self.points:
+            seen.setdefault(point.key, None)
+        return list(seen)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    @classmethod
+    def grid(cls, name: str, base: Mapping[str, Any],
+             axes: Mapping[str, Sequence[Any]],
+             seeds: Sequence[int]) -> "SweepSpec":
+        """Cartesian product of config-field axes crossed with seeds.
+
+        ``axes`` maps :class:`ScenarioConfig` field names to the values
+        to sweep; each cell's key is the tuple of axis values in axis
+        order.  Heterogeneous sweeps should use :meth:`add_scenario`.
+        """
+        spec = cls(name)
+        assignments: List[Dict[str, Any]] = [{}]
+        for field_name, values in axes.items():
+            assignments = [dict(a, **{field_name: v})
+                           for a in assignments for v in values]
+        for assignment in assignments:
+            key = tuple(assignment[f] for f in axes)
+            for seed in seeds:
+                spec.add_scenario(key, ScenarioConfig(
+                    **dict(base), **assignment, seed=seed))
+        return spec
+
+
+# ----------------------------------------------------------------------
+# Metric extraction (runs inside the worker process)
+# ----------------------------------------------------------------------
+def scenario_metrics(result: ScenarioResult) -> Metrics:
+    """One run's metrics record (``ScenarioResult.metrics_dict``)."""
+    return result.metrics_dict()
+
+
+def _resolve(dotted: str) -> Callable[..., Metrics]:
+    module_name, _, attr = dotted.partition(":")
+    if not attr:
+        raise ValueError(
+            f"analytic fn must be 'module:function', got {dotted!r}")
+    return getattr(importlib.import_module(module_name), attr)
+
+
+def execute_point(point: SweepPoint) -> Metrics:
+    """Produce one point's metrics (the process-pool work function)."""
+    if point.config is not None:
+        return scenario_metrics(run_scenario(point.config))
+    metrics = _resolve(point.fn)(**dict(point.fn_kwargs))
+    if not isinstance(metrics, dict):
+        raise TypeError(
+            f"analytic point {point.fn} returned {type(metrics)!r}, "
+            "expected a metrics dict")
+    return metrics
+
+
+# ----------------------------------------------------------------------
+# Cache
+# ----------------------------------------------------------------------
+class SweepCache:
+    """Content-addressed store of per-point metrics on disk."""
+
+    def __init__(self, directory: Union[str, Path]):
+        self.directory = Path(directory)
+        self.hits = 0
+        self.misses = 0
+
+    def _path(self, signature: str) -> Path:
+        return self.directory / f"{signature}.json"
+
+    def load(self, signature: str) -> Optional[Metrics]:
+        path = self._path(signature)
+        try:
+            with open(path) as handle:
+                metrics = json.load(handle)
+        except (OSError, ValueError):
+            self.misses += 1
+            return None
+        self.hits += 1
+        return metrics
+
+    def store(self, signature: str, metrics: Metrics) -> None:
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = self._path(signature).with_suffix(".tmp")
+        with open(tmp, "w") as handle:
+            json.dump(metrics, handle)
+        os.replace(tmp, self._path(signature))
+
+
+# ----------------------------------------------------------------------
+# Results
+# ----------------------------------------------------------------------
+@dataclass
+class SweepRecord:
+    """Metrics for one executed (or cache-restored) point."""
+
+    key: Key
+    seed: Optional[int]
+    signature: str
+    metrics: Metrics
+    cached: bool = False
+
+
+MetricSpec = Union[str, Callable[[Metrics], float]]
+
+
+def _metric_value(metrics: Metrics, metric: MetricSpec) -> float:
+    if callable(metric):
+        return metric(metrics)
+    return metrics[metric]
+
+
+def mean_stdev(values: Sequence[float]) -> Dict[str, float]:
+    """Per-cell aggregate, exactly as ``common.averaged`` computes it."""
+    return {
+        "mean": statistics.fmean(values),
+        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
+        "runs": len(values),
+    }
+
+
+@dataclass
+class SweepResult:
+    """All records of one sweep plus aggregation and (de)serialisation."""
+
+    spec_name: str
+    records: List[SweepRecord] = field(default_factory=list)
+    executed: int = 0
+    cache_hits: int = 0
+
+    def keys(self) -> List[Key]:
+        seen: Dict[Key, None] = {}
+        for record in self.records:
+            seen.setdefault(record.key, None)
+        return list(seen)
+
+    def records_for(self, key: Key) -> List[SweepRecord]:
+        key = _normalise_key(key)
+        return [r for r in self.records if r.key == key]
+
+    def metrics_for(self, key: Key) -> List[Metrics]:
+        return [r.metrics for r in self.records_for(key)]
+
+    def values(self, key: Key, metric: MetricSpec) -> List[float]:
+        return [_metric_value(m, metric) for m in self.metrics_for(key)]
+
+    def cell(self, key: Key, metric: MetricSpec) -> Dict[str, float]:
+        """mean/stdev/runs of one metric over one cell's seeds."""
+        values = self.values(key, metric)
+        if not values:
+            raise KeyError(
+                f"no records for cell {tuple(key)!r} in sweep "
+                f"{self.spec_name!r} (known cells: {self.keys()})")
+        return mean_stdev(values)
+
+    def aggregate(self, metric: MetricSpec
+                  ) -> Dict[Key, Dict[str, float]]:
+        """Per-cell mean/stdev of a metric across the whole sweep."""
+        return {key: self.cell(key, metric) for key in self.keys()}
+
+    # -- persistence ---------------------------------------------------
+    def to_json_dict(self) -> Dict[str, Any]:
+        return {
+            "format": "repro-sweep-result",
+            "version": 1,
+            "engine": ENGINE_VERSION,
+            "spec": self.spec_name,
+            "executed": self.executed,
+            "cache_hits": self.cache_hits,
+            "records": [
+                {"key": list(r.key), "seed": r.seed,
+                 "signature": r.signature, "cached": r.cached,
+                 "metrics": r.metrics}
+                for r in self.records],
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+        if payload.get("format") != "repro-sweep-result":
+            raise ValueError("not a sweep-result JSON document")
+        return cls(
+            spec_name=payload["spec"],
+            executed=payload.get("executed", 0),
+            cache_hits=payload.get("cache_hits", 0),
+            records=[SweepRecord(
+                key=tuple(r["key"]), seed=r.get("seed"),
+                signature=r.get("signature", ""),
+                metrics=r["metrics"], cached=r.get("cached", False))
+                for r in payload["records"]])
+
+    def save(self, path: Union[str, Path]) -> None:
+        path = Path(path)
+        if path.parent != Path(""):
+            path.parent.mkdir(parents=True, exist_ok=True)
+        with open(path, "w") as handle:
+            json.dump(self.to_json_dict(), handle, indent=1)
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "SweepResult":
+        with open(path) as handle:
+            return cls.from_json_dict(json.load(handle))
+
+
+# ----------------------------------------------------------------------
+# Runner
+# ----------------------------------------------------------------------
+class SweepRunner:
+    """Executes :class:`SweepSpec`\\ s, optionally in parallel + cached.
+
+    ``jobs``: ``None``/``1`` = serial in-process (deterministic
+    reference path); ``N > 1`` = a process pool of N workers; ``0`` =
+    one worker per CPU.  Results are ordered by spec point order
+    regardless of completion order, so aggregates are identical across
+    all execution modes.
+    """
+
+    def __init__(self, jobs: Optional[int] = None,
+                 cache_dir: Optional[Union[str, Path]] = None):
+        if jobs is not None and jobs <= 0:
+            jobs = os.cpu_count() or 1
+        self.jobs = jobs
+        self.cache = SweepCache(cache_dir) if cache_dir else None
+
+    def run(self, spec: SweepSpec) -> SweepResult:
+        result = SweepResult(spec_name=spec.name)
+        signatures = [point_signature(p) for p in spec.points]
+        metrics_by_index: Dict[int, Metrics] = {}
+        cached_flags: Dict[int, bool] = {}
+
+        pending: List[int] = []
+        for index, signature in enumerate(signatures):
+            cached = self.cache.load(signature) if self.cache else None
+            if cached is not None:
+                metrics_by_index[index] = cached
+                cached_flags[index] = True
+                result.cache_hits += 1
+            else:
+                pending.append(index)
+
+        if pending:
+            todo = [spec.points[i] for i in pending]
+            if self.jobs is not None and self.jobs > 1:
+                with ProcessPoolExecutor(
+                        max_workers=self.jobs) as pool:
+                    outputs = list(pool.map(execute_point, todo))
+            else:
+                outputs = [execute_point(point) for point in todo]
+            for index, metrics in zip(pending, outputs):
+                # JSON-normalise so serial, parallel and cache-restored
+                # runs expose byte-identical metric structures.
+                metrics = json.loads(_canonical_json(metrics))
+                metrics_by_index[index] = metrics
+                cached_flags[index] = False
+                result.executed += 1
+                if self.cache is not None:
+                    self.cache.store(signatures[index], metrics)
+
+        for index, point in enumerate(spec.points):
+            result.records.append(SweepRecord(
+                key=point.key, seed=point.seed,
+                signature=signatures[index],
+                metrics=metrics_by_index[index],
+                cached=cached_flags[index]))
+        return result

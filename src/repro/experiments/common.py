@@ -9,12 +9,12 @@ suite stays runnable in CI; the benchmark harness uses the default
 
 from __future__ import annotations
 
-import statistics
 from typing import Callable, Dict, Iterable, List, Sequence
 
 from ..sim.units import MS, SEC
 from ..workloads.scenarios import ScenarioConfig, ScenarioResult, \
     run_scenario
+from .batch import mean_stdev
 
 #: Seeds used for "averaged across five runs" experiments (paper §4).
 FULL_SEEDS = (1, 2, 3, 4, 5)
@@ -35,13 +35,13 @@ def steady_state_durations(quick: bool) -> Dict[str, int]:
 def averaged(configs: Iterable[ScenarioConfig],
              metric: Callable[[ScenarioResult], float]
              ) -> Dict[str, float]:
-    """Run per-seed configs, return mean/stdev of a scalar metric."""
-    values = [metric(run_scenario(cfg)) for cfg in configs]
-    return {
-        "mean": statistics.fmean(values),
-        "stdev": statistics.stdev(values) if len(values) > 1 else 0.0,
-        "runs": len(values),
-    }
+    """Run per-seed configs, return mean/stdev of a scalar metric.
+
+    Kept as the serial in-process reference; sweep-declared
+    experiments get the same aggregation (``batch.mean_stdev``) with
+    multiprocess execution and caching on top.
+    """
+    return mean_stdev([metric(run_scenario(cfg)) for cfg in configs])
 
 
 def format_table(headers: List[str], rows: List[List[str]],

@@ -14,15 +14,16 @@ SIFS) and the "SoRa" condition (37 us extra LL ACK delay).
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC, usec
-from ..workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
+from ..workloads.scenarios import LossSpec, ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table, seeds_for
 
 LOSS_RATE = {"TCP/802.11a": 0.12, "TCP/HACK": 0.02}
+CONDITIONS = (("ideal_mbps", False), ("sora_mbps", True))
 
 
 def _config(protocol: str, sora: bool, seed: int,
@@ -40,19 +41,32 @@ def _config(protocol: str, sora: bool, seed: int,
         ack_timeout_extra_ns=usec(60) if sora else 0)
 
 
-def run(quick: bool = False) -> List[Dict]:
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    spec = SweepSpec("crossval")
+    for protocol in LOSS_RATE:
+        for label, sora in CONDITIONS:
+            for seed in seeds_for(quick):
+                spec.add_scenario((protocol, label),
+                                  _config(protocol, sora, seed, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
     rows: List[Dict] = []
-    for protocol in ("TCP/802.11a", "TCP/HACK"):
+    for protocol in LOSS_RATE:
         row: Dict = {"figure": "crossval", "protocol": protocol,
                      "loss_rate": LOSS_RATE[protocol]}
-        for label, sora in (("ideal_mbps", False), ("sora_mbps", True)):
-            values = [
-                run_scenario(_config(protocol, sora, seed, quick)
-                             ).aggregate_goodput_mbps
-                for seed in seeds_for(quick)]
-            row[label] = statistics.fmean(values)
+        for label, _ in CONDITIONS:
+            row[label] = result.cell(
+                (protocol, label), "aggregate_goodput_mbps")["mean"]
         rows.append(row)
     return rows
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick)))
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -3,31 +3,69 @@
 Pure closed-form evaluation of the capacity model — no simulation.
 The paper's quoted checkpoints: ~8% average HACK improvement below
 100 Mbps on 802.11n, ~20% at 600 Mbps, ~7% at 150 Mbps.
+
+Declared as an *analytic* sweep: each (figure, rate) cell is a pure
+function call, so the sweep engine can cache and parallelise it like
+any simulation cell.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
-from ..analysis.capacity import figure_1a, figure_1b
+from ..analysis.capacity import figure_1a_point, figure_1b_point, \
+    figure_1b_rates
+from ..phy.params import PHY_11A
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table
 
+MAX_STREAMS = 4  # Fig 1b sweeps HT rates up to 4 spatial streams.
 
-def run(quick: bool = False) -> List[Dict]:
+
+def analytic_point(figure: str, rate_mbps: float,
+                   max_streams: int = MAX_STREAMS) -> Dict[str, float]:
+    """Closed-form goodput at one PHY rate (the sweep work function)."""
+    if figure == "1a":
+        point = figure_1a_point(rate_mbps)
+    elif figure == "1b":
+        point = figure_1b_point(rate_mbps, max_streams)
+    else:
+        raise ValueError(f"unknown figure {figure!r}")
+    return {"tcp_mbps": point.tcp_goodput_mbps,
+            "hack_mbps": point.hack_goodput_mbps}
+
+
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    spec = SweepSpec("fig01")
+    for rate in PHY_11A.data_rates:
+        spec.add_analytic(("1a", rate),
+                          "repro.experiments.fig01:analytic_point",
+                          figure="1a", rate_mbps=rate)
+    for rate in figure_1b_rates(MAX_STREAMS):
+        spec.add_analytic(("1b", rate),
+                          "repro.experiments.fig01:analytic_point",
+                          figure="1b", rate_mbps=rate)
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
     rows: List[Dict] = []
-    for point in figure_1a():
-        rows.append({"figure": "1a", "phy": "802.11a",
-                     "rate_mbps": point.rate_mbps,
-                     "tcp_mbps": point.tcp_goodput_mbps,
-                     "hack_mbps": point.hack_goodput_mbps,
-                     "improvement_pct": 100 * point.improvement})
-    for point in figure_1b():
-        rows.append({"figure": "1b", "phy": "802.11n",
-                     "rate_mbps": point.rate_mbps,
-                     "tcp_mbps": point.tcp_goodput_mbps,
-                     "hack_mbps": point.hack_goodput_mbps,
-                     "improvement_pct": 100 * point.improvement})
+    for figure, rate in result.keys():
+        metrics = result.metrics_for((figure, rate))[0]
+        tcp, hack = metrics["tcp_mbps"], metrics["hack_mbps"]
+        improvement = (hack / tcp - 1.0) if tcp else 0.0
+        rows.append({"figure": figure,
+                     "phy": "802.11a" if figure == "1a" else "802.11n",
+                     "rate_mbps": rate,
+                     "tcp_mbps": tcp, "hack_mbps": hack,
+                     "improvement_pct": 100 * improvement})
     return rows
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick)))
 
 
 def format_rows(rows: List[Dict]) -> str:

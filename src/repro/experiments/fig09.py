@@ -13,12 +13,12 @@ the same runs.
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC, usec
-from ..workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
+from ..workloads.scenarios import LossSpec, ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec, mean_stdev
 from .common import format_table, seeds_for
 
 #: Per-client frame loss: "Client 1's throughput is slightly less than
@@ -26,6 +26,9 @@ from .common import format_table, seeds_for
 CLIENT_LOSS = {"C1": 0.02, "C2": 0.01}
 SORA_ACK_DELAY = usec(37)
 SORA_TIMEOUT_EXTRA = usec(60)
+
+SETUPS = ((1, "one client"), (2, "both clients"))
+PROTOCOLS = ("U", "H", "T")
 
 
 def _config(protocol: str, n_clients: int, seed: int,
@@ -51,35 +54,49 @@ def _config(protocol: str, n_clients: int, seed: int,
                           **common)
 
 
-def run(quick: bool = False) -> List[Dict]:
-    rows: List[Dict] = []
-    for n_clients, label in ((1, "one client"), (2, "both clients")):
-        for protocol in ("U", "H", "T"):
-            per_client_runs: Dict[str, List[float]] = {}
-            retry_rows: Dict[str, List[float]] = {}
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    spec = SweepSpec("fig09")
+    for n_clients, _ in SETUPS:
+        for protocol in PROTOCOLS:
             for seed in seeds_for(quick):
-                res = run_scenario(_config(protocol, n_clients, seed,
-                                           quick))
-                for flow_id, goodput in \
-                        res.per_flow_goodput_mbps.items():
-                    name = f"C{abs(flow_id)}"
-                    per_client_runs.setdefault(name, []).append(goodput)
-                for dst, data in res.mac_stats.retry_table().items():
-                    if dst.startswith("C"):
-                        retry_rows.setdefault(dst, []).append(
-                            data["no_retries"])
-            for name in sorted(per_client_runs):
-                values = per_client_runs[name]
-                rows.append({
-                    "figure": "9", "clients": label,
-                    "protocol": protocol, "client": name,
-                    "goodput_mbps": statistics.fmean(values),
-                    "stdev": statistics.stdev(values)
-                    if len(values) > 1 else 0.0,
-                    "no_retry_frac": statistics.fmean(retry_rows[name])
-                    if name in retry_rows else None,
-                })
+                spec.add_scenario(
+                    (n_clients, protocol),
+                    _config(protocol, n_clients, seed, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
+    labels = dict(SETUPS)
+    rows: List[Dict] = []
+    for n_clients, protocol in result.keys():
+        per_client_runs: Dict[str, List[float]] = {}
+        retry_rows: Dict[str, List[float]] = {}
+        for metrics in result.metrics_for((n_clients, protocol)):
+            for flow_id, goodput in \
+                    metrics["per_flow_goodput_mbps"].items():
+                name = f"C{abs(int(flow_id))}"
+                per_client_runs.setdefault(name, []).append(goodput)
+            for dst, data in metrics["retry_table"].items():
+                if dst.startswith("C"):
+                    retry_rows.setdefault(dst, []).append(
+                        data["no_retries"])
+        for name in sorted(per_client_runs):
+            stats = mean_stdev(per_client_runs[name])
+            rows.append({
+                "figure": "9", "clients": labels[n_clients],
+                "protocol": protocol, "client": name,
+                "goodput_mbps": stats["mean"],
+                "stdev": stats["stdev"],
+                "no_retry_frac": mean_stdev(retry_rows[name])["mean"]
+                if name in retry_rows else None,
+            })
     return rows
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick)))
 
 
 def format_rows(rows: List[Dict]) -> str:

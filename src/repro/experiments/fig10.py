@@ -18,8 +18,9 @@ from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS
-from ..workloads.scenarios import ScenarioConfig, run_scenario
-from .common import seeds_for, steady_state_durations, format_table
+from ..workloads.scenarios import ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec, mean_stdev
+from .common import format_table, seeds_for, steady_state_durations
 
 SCHEMES = (
     ("UDP", None),
@@ -27,6 +28,7 @@ SCHEMES = (
     ("TCP/Opp. HACK", HackPolicy.OPPORTUNISTIC),
     ("TCP/802.11", HackPolicy.VANILLA),
 )
+MORE_DATA_LABEL = "TCP/HACK More Data"
 
 
 def _config(policy: Optional[HackPolicy], n_clients: int, seed: int,
@@ -42,27 +44,39 @@ def _config(policy: Optional[HackPolicy], n_clients: int, seed: int,
                           **common)
 
 
-def run(quick: bool = False,
-        client_counts=(1, 2, 4, 10)) -> List[Dict]:
-    rows: List[Dict] = []
+def sweep_spec(quick: bool = False,
+               client_counts=(1, 2, 4, 10)) -> SweepSpec:
+    spec = SweepSpec("fig10")
     for n_clients in client_counts:
         for label, policy in SCHEMES:
-            goodputs, fits = [], []
             for seed in seeds_for(quick):
-                res = run_scenario(_config(policy, n_clients, seed,
-                                           quick))
-                goodputs.append(res.aggregate_goodput_mbps)
-                if policy is HackPolicy.MORE_DATA:
-                    fits.append(res.mac_stats.hack_fit_fraction())
-            rows.append({
-                "figure": "10", "clients": n_clients, "scheme": label,
-                "goodput_mbps": statistics.fmean(goodputs),
-                "stdev": statistics.stdev(goodputs)
-                if len(goodputs) > 1 else 0.0,
-                "hack_fit_fraction": statistics.fmean(fits)
-                if fits else None,
-            })
+                spec.add_scenario(
+                    (n_clients, label),
+                    _config(policy, n_clients, seed, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
+    rows: List[Dict] = []
+    for n_clients, label in result.keys():
+        key = (n_clients, label)
+        stats = result.cell(key, "aggregate_goodput_mbps")
+        fits = result.values(key, "hack_fit_fraction") \
+            if label == MORE_DATA_LABEL else []
+        rows.append({
+            "figure": "10", "clients": n_clients, "scheme": label,
+            "goodput_mbps": stats["mean"],
+            "stdev": stats["stdev"],
+            "hack_fit_fraction": mean_stdev(fits)["mean"]
+            if fits else None,
+        })
     return rows
+
+
+def run(quick: bool = False, client_counts=(1, 2, 4, 10),
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick, client_counts)))
 
 
 def format_rows(rows: List[Dict]) -> str:

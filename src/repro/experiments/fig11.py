@@ -14,16 +14,19 @@ failures and no recurring TCP timeouts in lossy regimes.
 from __future__ import annotations
 
 import statistics
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..core.policies import HackPolicy
 from ..phy.params import HT40_SGI_RATES_1SS
-from ..workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
+from ..workloads.scenarios import LossSpec, ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table, seeds_for, steady_state_durations
 
 FULL_SNRS = (6.0, 10.0, 14.0, 18.0, 22.0, 26.0, 30.0)
 QUICK_SNRS = (10.0, 18.0, 26.0)
 QUICK_RATES = (15.0, 60.0, 150.0)
+
+SCHEMES = (("tcp", HackPolicy.VANILLA), ("hack", HackPolicy.MORE_DATA))
 
 
 def _config(policy: HackPolicy, rate: float, snr: float, seed: int,
@@ -36,32 +39,46 @@ def _config(policy: HackPolicy, rate: float, snr: float, seed: int,
         **durations)
 
 
-def run(quick: bool = False,
-        snrs: Sequence[float] = None,
-        rates: Sequence[float] = None) -> List[Dict]:
+def sweep_spec(quick: bool = False,
+               snrs: Sequence[float] = None,
+               rates: Sequence[float] = None) -> SweepSpec:
     snrs = snrs or (QUICK_SNRS if quick else FULL_SNRS)
     rates = rates or (QUICK_RATES if quick else HT40_SGI_RATES_1SS)
+    spec = SweepSpec("fig11")
+    for snr in snrs:
+        for rate in rates:
+            for key, policy in SCHEMES:
+                for seed in seeds_for(quick):
+                    spec.add_scenario(
+                        (snr, rate, key),
+                        _config(policy, rate, snr, seed, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
+    snrs: List[float] = []
+    for snr, _, _ in result.keys():
+        if snr not in snrs:
+            snrs.append(snr)
     rows: List[Dict] = []
     for snr in snrs:
         per_rate: Dict[str, Dict[float, float]] = {"tcp": {},
                                                    "hack": {}}
         crc_failures = 0
         timeouts = 0
-        for rate in rates:
-            for key, policy in (("tcp", HackPolicy.VANILLA),
-                                ("hack", HackPolicy.MORE_DATA)):
-                values = []
-                for seed in seeds_for(quick):
-                    res = run_scenario(
-                        _config(policy, rate, snr, seed, quick))
-                    values.append(res.aggregate_goodput_mbps)
-                    if key == "hack":
-                        crc_failures += \
-                            res.decomp_counters["crc_failures"]
-                        timeouts += sum(
-                            c["timeouts"]
-                            for c in res.sender_counters.values())
-                per_rate[key][rate] = statistics.fmean(values)
+        for key in result.keys():
+            if key[0] != snr:
+                continue
+            _, rate, scheme = key
+            per_rate[scheme][rate] = result.cell(
+                key, "aggregate_goodput_mbps")["mean"]
+            if scheme == "hack":
+                for metrics in result.metrics_for(key):
+                    crc_failures += \
+                        metrics["decompressor"]["crc_failures"]
+                    timeouts += sum(
+                        c["timeouts"]
+                        for c in metrics["sender_counters"].values())
         tcp_env = max(per_rate["tcp"].values())
         hack_env = max(per_rate["hack"].values())
         rows.append({
@@ -76,6 +93,14 @@ def run(quick: bool = False,
             "hack_timeouts": timeouts,
         })
     return rows
+
+
+def run(quick: bool = False,
+        snrs: Sequence[float] = None,
+        rates: Sequence[float] = None,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick, snrs, rates)))
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -11,16 +11,19 @@ suffers data/ACK collisions that HACK eliminates.
 
 from __future__ import annotations
 
-import statistics
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from ..analysis.capacity import hack_goodput_11n, tcp_goodput_11n
 from ..core.policies import HackPolicy
 from ..phy.params import HT40_SGI_RATES_1SS
-from ..workloads.scenarios import ScenarioConfig, run_scenario
+from ..workloads.scenarios import ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table, seeds_for, steady_state_durations
 
 QUICK_RATES = (15.0, 60.0, 150.0)
+
+SCHEMES = (("sim_tcp_mbps", HackPolicy.VANILLA),
+           ("sim_hack_mbps", HackPolicy.MORE_DATA))
 
 
 def _config(policy: HackPolicy, rate: float, seed: int,
@@ -32,26 +35,43 @@ def _config(policy: HackPolicy, rate: float, seed: int,
         **durations)
 
 
-def run(quick: bool = False,
-        rates: Sequence[float] = None) -> List[Dict]:
+def sweep_spec(quick: bool = False,
+               rates: Sequence[float] = None) -> SweepSpec:
     rates = rates or (QUICK_RATES if quick else HT40_SGI_RATES_1SS)
+    spec = SweepSpec("fig12")
+    for rate in rates:
+        for key, policy in SCHEMES:
+            for seed in seeds_for(quick):
+                spec.add_scenario((rate, key),
+                                  _config(policy, rate, seed, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
+    rates: List[float] = []
+    for rate, _ in result.keys():
+        if rate not in rates:
+            rates.append(rate)
     rows: List[Dict] = []
     for rate in rates:
         row: Dict = {"figure": "12", "rate_mbps": rate,
                      "theory_tcp_mbps": tcp_goodput_11n(rate),
                      "theory_hack_mbps": hack_goodput_11n(rate)}
-        for key, policy in (("sim_tcp_mbps", HackPolicy.VANILLA),
-                            ("sim_hack_mbps", HackPolicy.MORE_DATA)):
-            values = [run_scenario(_config(policy, rate, seed, quick)
-                                   ).aggregate_goodput_mbps
-                      for seed in seeds_for(quick)]
-            row[key] = statistics.fmean(values)
+        for key, _ in SCHEMES:
+            row[key] = result.cell((rate, key),
+                                   "aggregate_goodput_mbps")["mean"]
         row["sim_improvement_pct"] = 100 * (
             row["sim_hack_mbps"] / row["sim_tcp_mbps"] - 1)
         row["theory_improvement_pct"] = 100 * (
             row["theory_hack_mbps"] / row["theory_tcp_mbps"] - 1)
         rows.append(row)
     return rows
+
+
+def run(quick: bool = False, rates: Sequence[float] = None,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick, rates)))
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -3,19 +3,28 @@
 Usage::
 
     python -m repro.experiments.runner fig01 fig09 --quick
-    python -m repro.experiments.runner all
+    python -m repro.experiments.runner all --jobs 4 --out results.json
 
-Each experiment prints the corresponding paper table/figure as text.
+Each experiment declares its grid as a :class:`SweepSpec`; the shared
+:class:`SweepRunner` executes every cell — serially by default, or
+fanned out over ``--jobs`` worker processes — prints the corresponding
+paper table/figure as text, and (with ``--out``) persists the raw
+per-cell sweep records as a JSON artifact.  Cells are content-hash
+cached under ``--cache-dir`` so re-running an unchanged sweep is free;
+``--no-cache`` forces fresh simulation runs.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
+from pathlib import Path
 
 from . import ablations, crossval, fig01, fig09, fig10, fig11, fig12, \
     table2, table3
+from .batch import SweepRunner
 
 EXPERIMENTS = {
     "fig01": fig01,
@@ -29,6 +38,37 @@ EXPERIMENTS = {
     "ablations": ablations,
 }
 
+DEFAULT_CACHE_DIR = ".sweep-cache"
+
+
+def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
+    """The sweep-execution flags shared with ``repro.cli sweep``."""
+    parser.add_argument("--quick", action="store_true",
+                        help="shorter runs, single seed")
+    parser.add_argument("--jobs", type=int, default=None,
+                        help="worker processes (default: serial; "
+                             "0 = one per CPU)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write raw sweep records as JSON")
+    parser.add_argument("--cache-dir", default=DEFAULT_CACHE_DIR,
+                        help="per-cell result cache directory "
+                             f"(default: {DEFAULT_CACHE_DIR})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="always re-simulate, ignore the cache")
+
+
+def make_runner(args: argparse.Namespace) -> SweepRunner:
+    cache_dir = None if args.no_cache else args.cache_dir
+    return SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+
+
+def write_artifacts(path: str, artifacts: dict) -> None:
+    parent = Path(path).parent
+    if parent != Path(""):
+        parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as handle:
+        json.dump(artifacts, handle, indent=1)
+
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
@@ -38,19 +78,28 @@ def main(argv=None) -> int:
     parser.add_argument("experiments", nargs="+",
                         choices=sorted(EXPERIMENTS) + ["all"],
                         help="which experiments to run")
-    parser.add_argument("--quick", action="store_true",
-                        help="shorter runs, single seed")
+    add_sweep_arguments(parser)
     args = parser.parse_args(argv)
 
     names = sorted(EXPERIMENTS) if "all" in args.experiments else \
-        args.experiments
+        list(dict.fromkeys(args.experiments))
+    sweep_runner = make_runner(args)
+    artifacts = {}
     for name in names:
         module = EXPERIMENTS[name]
         started = time.time()
-        rows = module.run(quick=args.quick)
+        result = sweep_runner.run(module.sweep_spec(quick=args.quick))
+        rows = module.rows_from_sweep(result)
         elapsed = time.time() - started
         print(module.format_rows(rows))
-        print(f"[{name}: {len(rows)} rows in {elapsed:.1f}s]\n")
+        print(f"[{name}: {len(rows)} rows in {elapsed:.1f}s; "
+              f"{len(result.records)} cells "
+              f"({result.executed} run, {result.cache_hits} cached)]\n")
+        artifacts[name] = result.to_json_dict()
+    if args.out:
+        write_artifacts(args.out, artifacts)
+        print(f"wrote sweep records for {', '.join(names)} "
+              f"to {args.out}")
     return 0
 
 

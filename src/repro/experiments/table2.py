@@ -8,17 +8,21 @@ and read the counters off the drivers.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC
 from ..tcp.segment import IP_HEADER_BYTES, TCP_HEADER_BYTES, \
     TIMESTAMP_OPTION_BYTES
-from ..workloads.scenarios import ScenarioConfig, run_scenario
+from ..workloads.scenarios import ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table
 
 ACK_WIRE_BYTES = IP_HEADER_BYTES + TCP_HEADER_BYTES + \
     TIMESTAMP_OPTION_BYTES  # 52
+
+PROTOCOLS = (("TCP/802.11a", HackPolicy.VANILLA),
+             ("TCP/HACK", HackPolicy.MORE_DATA))
 
 
 def _config(policy: HackPolicy, quick: bool) -> ScenarioConfig:
@@ -29,30 +33,43 @@ def _config(policy: HackPolicy, quick: bool) -> ScenarioConfig:
         duration_ns=60 * SEC, warmup_ns=100 * MS, stagger_ns=0)
 
 
-def run(quick: bool = False) -> List[Dict]:
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    spec = SweepSpec("table2")
+    for label, policy in PROTOCOLS:
+        config = _config(policy, quick)
+        spec.add_scenario((label, config.file_bytes), config)
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
     rows: List[Dict] = []
-    for label, policy in (("TCP/802.11a", HackPolicy.VANILLA),
-                          ("TCP/HACK", HackPolicy.MORE_DATA)):
-        res = run_scenario(_config(policy, quick))
-        driver = res.drivers["C1"]
-        stats = driver.stats
-        compressed_count = driver.compressed_acks
-        compressed_bytes = driver.compressed_bytes
+    for label, file_bytes in result.keys():
+        metrics = result.metrics_for((label, file_bytes))[0]
+        client = metrics["drivers"]["C1"]
+        compressed_count = client["compressed_acks"]
+        compressed_bytes = client["compressed_bytes"]
         if compressed_count:
             ratio = (compressed_count * ACK_WIRE_BYTES) / compressed_bytes
         else:
             ratio = 1.0
         rows.append({
             "table": "2", "protocol": label,
-            "ack_count": stats.vanilla_acks_sent,
-            "ack_bytes": stats.vanilla_ack_bytes,
+            "ack_count": client["vanilla_acks_sent"],
+            "ack_bytes": client["vanilla_ack_bytes"],
             "compressed_count": compressed_count,
             "compressed_bytes": compressed_bytes,
             "compression_ratio": ratio,
-            "transfer_bytes": res.config.file_bytes,
-            "completed": res.completion_times_ns[1] is not None,
+            "transfer_bytes": file_bytes,
+            "completed":
+                metrics["completion_times_ns"]["1"] is not None,
         })
     return rows
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick)))
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -14,12 +14,16 @@ airtime on existing LL ACKs.
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC
-from ..workloads.scenarios import ScenarioConfig, run_scenario
+from ..workloads.scenarios import ScenarioConfig
+from .batch import SweepResult, SweepRunner, SweepSpec
 from .common import format_table
+
+PROTOCOLS = (("TCP/802.11a", HackPolicy.VANILLA),
+             ("TCP/HACK", HackPolicy.MORE_DATA))
 
 
 def _config(policy: HackPolicy, quick: bool) -> ScenarioConfig:
@@ -30,14 +34,26 @@ def _config(policy: HackPolicy, quick: bool) -> ScenarioConfig:
         duration_ns=60 * SEC, warmup_ns=100 * MS, stagger_ns=0)
 
 
-def run(quick: bool = False) -> List[Dict]:
+def sweep_spec(quick: bool = False) -> SweepSpec:
+    spec = SweepSpec("table3")
+    for label, policy in PROTOCOLS:
+        spec.add_scenario((label,), _config(policy, quick))
+    return spec
+
+
+def rows_from_sweep(result: SweepResult) -> List[Dict]:
     rows: List[Dict] = []
-    for label, policy in (("TCP/802.11a", HackPolicy.VANILLA),
-                          ("TCP/HACK", HackPolicy.MORE_DATA)):
-        res = run_scenario(_config(policy, quick))
-        breakdown = res.mac_stats.time_breakdown_ms()
-        rows.append({"table": "3", "protocol": label, **breakdown})
+    for (label,) in result.keys():
+        metrics = result.metrics_for((label,))[0]
+        rows.append({"table": "3", "protocol": label,
+                     **metrics["time_breakdown_ms"]})
     return rows
+
+
+def run(quick: bool = False,
+        runner: Optional[SweepRunner] = None) -> List[Dict]:
+    runner = runner or SweepRunner()
+    return rows_from_sweep(runner.run(sweep_spec(quick)))
 
 
 def format_rows(rows: List[Dict]) -> str:

@@ -1,7 +1,9 @@
-"""Workloads and the high-level scenario builder."""
+"""Workloads: the high-level scenario builder + named registry."""
 
 from .scenarios import LossSpec, ScenarioConfig, ScenarioResult, \
     run_scenario
+from . import registry
+from .registry import UnknownScenarioError
 
 __all__ = ["ScenarioConfig", "ScenarioResult", "LossSpec",
-           "run_scenario"]
+           "run_scenario", "registry", "UnknownScenarioError"]

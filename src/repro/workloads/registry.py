@@ -1,0 +1,168 @@
+"""Named scenario registry.
+
+Mirrors the runnable stories under ``examples/`` as first-class,
+programmatically addressable scenarios: look one up by name, build its
+:class:`ScenarioConfig` (optionally overriding fields), or expand it
+into a multi-seed :class:`~repro.experiments.batch.SweepSpec` for the
+parallel sweep engine.
+
+    from repro.workloads import registry
+    cfg = registry.build("quickstart", policy=HackPolicy.MORE_DATA)
+    spec = registry.sweep_spec("multi-client", seeds=(1, 2, 3))
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import difflib
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence
+
+from ..core.policies import HackPolicy
+from ..sim.units import MS, SEC, usec
+from .scenarios import LossSpec, ScenarioConfig
+
+
+class UnknownScenarioError(KeyError):
+    """Raised for a lookup of a name the registry does not hold."""
+
+    def __init__(self, name: str, known: Sequence[str]):
+        suggestions = difflib.get_close_matches(name, known, n=3)
+        hint = f"; did you mean {', '.join(suggestions)}?" \
+            if suggestions else ""
+        super().__init__(
+            f"unknown scenario {name!r} (known: "
+            f"{', '.join(sorted(known))}){hint}")
+        self.name = name
+        self.suggestions = suggestions
+
+
+@dataclass(frozen=True)
+class RegisteredScenario:
+    """A named config factory plus its one-line story."""
+
+    name: str
+    description: str
+    factory: Callable[[], ScenarioConfig]
+
+    def build(self, seed: int = 1, **overrides: Any) -> ScenarioConfig:
+        config = self.factory()
+        fields = {f.name for f in dataclasses.fields(ScenarioConfig)}
+        unknown = set(overrides) - fields
+        if unknown:
+            raise TypeError(
+                f"scenario {self.name!r}: unknown config fields "
+                f"{sorted(unknown)}")
+        return dataclasses.replace(config, seed=seed, **overrides)
+
+
+_REGISTRY: Dict[str, RegisteredScenario] = {}
+
+
+def register(name: str, description: str
+             ) -> Callable[[Callable[[], ScenarioConfig]],
+                           Callable[[], ScenarioConfig]]:
+    """Decorator: register a zero-argument ScenarioConfig factory."""
+
+    def decorator(factory: Callable[[], ScenarioConfig]
+                  ) -> Callable[[], ScenarioConfig]:
+        if name in _REGISTRY:
+            raise ValueError(f"scenario {name!r} already registered")
+        _REGISTRY[name] = RegisteredScenario(name, description, factory)
+        return factory
+
+    return decorator
+
+
+def get(name: str) -> RegisteredScenario:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise UnknownScenarioError(name, list(_REGISTRY)) from None
+
+
+def names() -> List[str]:
+    return sorted(_REGISTRY)
+
+
+def build(name: str, seed: int = 1, **overrides: Any) -> ScenarioConfig:
+    """Build a registered scenario's config (with field overrides)."""
+    return get(name).build(seed=seed, **overrides)
+
+
+def describe_all() -> List[Dict[str, str]]:
+    return [{"name": n, "description": _REGISTRY[n].description}
+            for n in names()]
+
+
+def sweep_spec(name: str, seeds: Sequence[int] = (1,),
+               **overrides: Any):
+    """Expand one named scenario into a per-seed SweepSpec."""
+    from ..experiments.batch import SweepSpec
+
+    spec = SweepSpec(f"scenario:{name}")
+    for seed in seeds:
+        spec.add_scenario((name,), build(name, seed=seed, **overrides))
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Built-in scenarios (mirror examples/)
+# ----------------------------------------------------------------------
+@register("quickstart",
+          "one 802.11n client at 150 Mbps, bulk TCP download with "
+          "the MORE DATA HACK policy (examples/quickstart.py)")
+def _quickstart() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=1,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
+@register("lossy-link",
+          "single client on a noisy channel (SNR loss model), the "
+          "Fig 11 regime (examples/lossy_link_sweep.py)")
+def _lossy_link() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=90.0, n_clients=1,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        loss=LossSpec(kind="snr", snr_db=18.0),
+        duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
+@register("multi-client",
+          "several laptops downloading through one AP — the paper's "
+          "motivating Fig 10 contention workload "
+          "(examples/multi_client_contention.py)")
+def _multi_client() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=4,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=4 * SEC, warmup_ns=2 * SEC, stagger_ns=50 * MS)
+
+
+@register("wireless-backup",
+          "finite upload to LAN storage (the Time Capsule story, "
+          "§3.1): the AP compresses the server's ACKs "
+          "(examples/wireless_backup.py)")
+def _wireless_backup() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=1,
+        traffic="tcp_upload", policy=HackPolicy.MORE_DATA,
+        file_bytes=20_000_000,
+        duration_ns=60 * SEC, warmup_ns=100 * MS, stagger_ns=0)
+
+
+@register("sora-testbed",
+          "the §4 SoRa 802.11a testbed: 54 Mbps, per-client loss, "
+          "late LL ACKs (examples/sora_testbed.py)")
+def _sora_testbed() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11a", data_rate_mbps=54.0, n_clients=2,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=6 * SEC, warmup_ns=2 * SEC, stagger_ns=100 * MS,
+        loss=LossSpec(kind="uniform", data_loss=0.01,
+                      control_loss=0.002,
+                      per_client={"C1": 0.02, "C2": 0.01}),
+        extra_response_delay_ns=usec(37),
+        ack_timeout_extra_ns=usec(60))

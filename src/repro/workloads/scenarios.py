@@ -161,8 +161,51 @@ class ScenarioResult:
         """Jain's index over TCP flows (paper §4.2: 'both are fair')."""
         return goodput_fairness(self.per_flow_goodput_mbps)
 
+    def metrics_dict(self) -> Dict[str, Any]:
+        """Full JSON-able flattening of this run (one sweep record).
+
+        This is the superset every experiment harness reads from;
+        keeping it plain data is what makes results picklable,
+        cacheable and identical across serial and parallel execution
+        (all dict keys are strings so a JSON round-trip is lossless).
+        """
+        drivers: Dict[str, Dict[str, int]] = {}
+        for name, driver in self.drivers.items():
+            stats = driver.stats
+            drivers[name] = {
+                "vanilla_acks_sent": stats.vanilla_acks_sent,
+                "vanilla_ack_bytes": stats.vanilla_ack_bytes,
+                "hack_frames_attached": stats.hack_frames_attached,
+                "hack_frame_bytes": stats.hack_frame_bytes,
+                "compressed_acks": driver.compressed_acks,
+                "compressed_bytes": driver.compressed_bytes,
+            }
+        return {
+            "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
+            "per_flow_goodput_mbps": {
+                str(k): v
+                for k, v in self.per_flow_goodput_mbps.items()},
+            "fairness_index": self.fairness_index,
+            "medium_frames_sent": self.medium_frames_sent,
+            "medium_frames_collided": self.medium_frames_collided,
+            "medium_utilisation": self.medium_utilisation,
+            "decompressor": dict(self.decomp_counters),
+            "sender_counters": {
+                str(k): dict(v)
+                for k, v in self.sender_counters.items()},
+            "completion_times_ns": {
+                str(k): v
+                for k, v in self.completion_times_ns.items()},
+            "hack_fit_fraction": self.mac_stats.hack_fit_fraction(),
+            "retry_table": {dst: dict(data) for dst, data
+                            in self.mac_stats.retry_table().items()},
+            "time_breakdown_ms": self.mac_stats.time_breakdown_ms(),
+            "drivers": drivers,
+        }
+
     def summary_dict(self) -> Dict[str, Any]:
-        """JSON-serialisable summary (for saving sweep results)."""
+        """JSON-serialisable summary (config block + headline metrics)."""
+        metrics = self.metrics_dict()
         return {
             "config": {
                 "phy_mode": self.config.phy_mode,
@@ -175,16 +218,17 @@ class ScenarioResult:
                 "loss": self.config.loss.kind,
                 "rate_adaptation": self.config.rate_adaptation,
             },
-            "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
+            "aggregate_goodput_mbps":
+                metrics["aggregate_goodput_mbps"],
             "per_flow_goodput_mbps": dict(self.per_flow_goodput_mbps),
-            "fairness_index": self.fairness_index,
-            "medium_frames_sent": self.medium_frames_sent,
-            "medium_frames_collided": self.medium_frames_collided,
-            "medium_utilisation": self.medium_utilisation,
-            "decompressor": dict(self.decomp_counters),
-            "tcp": {str(k): dict(v)
-                    for k, v in self.sender_counters.items()},
-            "hack_fit_fraction": self.mac_stats.hack_fit_fraction(),
+            "fairness_index": metrics["fairness_index"],
+            "medium_frames_sent": metrics["medium_frames_sent"],
+            "medium_frames_collided":
+                metrics["medium_frames_collided"],
+            "medium_utilisation": metrics["medium_utilisation"],
+            "decompressor": metrics["decompressor"],
+            "tcp": metrics["sender_counters"],
+            "hack_fit_fraction": metrics["hack_fit_fraction"],
         }
 
 

@@ -1,4 +1,8 @@
-"""Shared fixtures and helpers for the test suite."""
+"""Shared fixtures for the test suite.
+
+Reusable test doubles live in :mod:`tests.helpers`; the re-exports
+below keep ``from conftest import ...``-era call sites working.
+"""
 
 from __future__ import annotations
 
@@ -7,7 +11,11 @@ import random
 import pytest
 
 from repro.sim.engine import Simulator
-from repro.sim.medium import Medium, MediumListener
+from repro.sim.medium import Medium
+
+from tests.helpers import FakeFrame, FakePayload, RecordingListener
+
+__all__ = ["FakeFrame", "FakePayload", "RecordingListener"]
 
 
 @pytest.fixture
@@ -20,53 +28,6 @@ def rng() -> random.Random:
     return random.Random(42)
 
 
-class RecordingListener(MediumListener):
-    """Test double that logs every medium event with its timestamp."""
-
-    def __init__(self, sim: Simulator, name: str = "node"):
-        self.sim = sim
-        self.name = name
-        self.events = []
-
-    def on_channel_busy(self, now: int) -> None:
-        self.events.append(("busy", now))
-
-    def on_channel_idle(self, now: int) -> None:
-        self.events.append(("idle", now))
-
-    def on_frame_received(self, frame, sender) -> None:
-        self.events.append(("rx", self.sim.now, frame, sender))
-
-    def on_frame_error(self, frame, sender) -> None:
-        self.events.append(("err", self.sim.now, frame, sender))
-
-    def of_kind(self, kind: str):
-        return [e for e in self.events if e[0] == kind]
-
-
 @pytest.fixture
 def medium(sim) -> Medium:
     return Medium(sim)
-
-
-class FakeFrame:
-    """Minimal frame object for medium/MAC plumbing tests."""
-
-    def __init__(self, name: str = "f", byte_length: int = 100,
-                 dst=None, src=None, is_control: bool = False):
-        self.name = name
-        self.byte_length = byte_length
-        self.dst = dst
-        self.src = src
-        self.is_control = is_control
-
-    def __repr__(self) -> str:
-        return f"<FakeFrame {self.name}>"
-
-
-class FakePayload:
-    """Minimal higher-layer payload (stands in for a TcpSegment)."""
-
-    def __init__(self, byte_length: int = 1500, kind: str = "data"):
-        self.byte_length = byte_length
-        self.kind = kind

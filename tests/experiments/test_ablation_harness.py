@@ -1,7 +1,9 @@
-"""Ablation harness units (cheap synthetic-row checks plus one tiny
-real run per ablation dimension not covered by benchmarks)."""
+"""Ablation harness units (cheap synthetic-row checks plus stubbed
+sweep runs exercising the declarative grid end-to-end)."""
 
 from repro.experiments import ablations
+
+from tests.helpers import StubSweepRunner
 
 
 class TestFormatters:
@@ -30,13 +32,20 @@ class TestFormatters:
 
 
 class TestRunAll:
-    def test_run_includes_every_dimension(self, monkeypatch):
-        # Stub the goodput measurement so run() is instant.
-        monkeypatch.setattr(ablations, "_mean_goodput",
-                            lambda quick, **kw: 100.0)
-        rows = ablations.run(quick=True)
+    def test_run_includes_every_dimension(self):
+        # Stub the sweep execution so run() is instant.
+        rows = ablations.run(quick=True, runner=StubSweepRunner())
         dims = {r["ablation"] for r in rows}
         assert dims == {"policy", "txop", "buffer", "delack"}
         policies = [r["variant"] for r in rows
                     if r["ablation"] == "policy"]
         assert "TS_ECHO (§5 future work)" in policies
+
+    def test_single_dimension_runners(self):
+        stub = StubSweepRunner()
+        rows = ablations.run_txop_ablation(quick=True, runner=stub)
+        assert {r["ablation"] for r in rows} == {"txop"}
+        assert all(r["improvement_pct"] == 0.0 for r in rows)
+        # One spec, tcp+hack per variant, one quick seed each.
+        assert len(stub.specs) == 1
+        assert len(stub.specs[0]) == 2 * len(ablations.TXOP_VARIANTS)

@@ -9,7 +9,7 @@ from repro.mac.params import MacParams, mpdu_subframe_bytes
 from repro.phy.params import PHY_11N
 from repro.sim.units import msec
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 def make_mpdu_factory():

@@ -4,7 +4,7 @@ from repro.mac.blockack import BLOCK_ACK_WINDOW, BlockAckOriginator, \
     BlockAckRecipient
 from repro.mac.frames import Mpdu
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 def mpdus(origin, n):

@@ -18,7 +18,7 @@ from repro.sim.engine import Simulator
 from repro.sim.medium import Medium
 from repro.sim.units import usec
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 class ScriptedRng:

@@ -11,8 +11,9 @@ from repro.sim.engine import Simulator
 from repro.sim.medium import Medium
 from repro.sim.units import usec
 
-from ..conftest import FakePayload
-from .test_dcf import RecordingUpper, ScriptedRng, TogglingLoss
+from tests.helpers import FakePayload
+from tests.mac.test_dcf import RecordingUpper, ScriptedRng, \
+    TogglingLoss
 
 
 def build_network(n_stations=3, aggregation=False, loss=None):

@@ -7,7 +7,7 @@ from repro.mac.frames import AckFrame, AmpduFrame, BarFrame, \
 from repro.mac.params import ACK_BYTES, BAR_BYTES, BLOCK_ACK_BYTES, \
     MAC_DATA_OVERHEAD, mpdu_subframe_bytes
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 def mpdu(seq=0, size=1500, dst="C1"):

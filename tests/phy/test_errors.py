@@ -7,7 +7,7 @@ import pytest
 from repro.phy.errors import HT40_SNR_MIDPOINT_DB, NoLoss, SnrLossModel, \
     UniformLossModel, per_from_snr, snr_from_distance
 
-from ..conftest import FakeFrame
+from tests.helpers import FakeFrame
 
 
 class Receiver:

@@ -6,7 +6,7 @@ from hypothesis import given, settings
 from repro.mac.blockack import BlockAckOriginator, BlockAckRecipient
 from repro.mac.frames import Mpdu
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 def mpdu(seq):

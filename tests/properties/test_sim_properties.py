@@ -8,7 +8,7 @@ from repro.sim.medium import Medium
 from repro.tcp.receiver import TcpReceiver
 from repro.tcp.segment import TcpSegment
 
-from ..conftest import FakeFrame, RecordingListener
+from tests.helpers import FakeFrame, RecordingListener
 
 MSS = 1460
 

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.medium import Medium
 from repro.sim.units import usec
 
-from ..conftest import FakeFrame, RecordingListener
+from tests.helpers import FakeFrame, RecordingListener
 
 
 def make_net(sim, n=3, loss_model=None):

@@ -5,7 +5,7 @@ import pytest
 from repro.sim.units import MS, usec
 from repro.sim.wired import WiredLink, WiredPipe
 
-from ..conftest import FakeFrame
+from tests.helpers import FakeFrame
 
 
 class Sink:

@@ -5,7 +5,7 @@ import pytest
 from repro.phy.params import PHY_11A
 from repro.stats.collectors import MacStats
 
-from ..conftest import FakePayload
+from tests.helpers import FakePayload
 
 
 class Job:

@@ -10,7 +10,7 @@ from repro.stats.fairness import airtime_shares, goodput_fairness, \
     jain_index
 from repro.stats.trace import MediumTracer
 
-from ..conftest import FakePayload, RecordingListener
+from tests.helpers import FakePayload, RecordingListener
 
 
 def data_frame(src="AP", dst="C1", more=False):
