@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Event-kernel hot-path benchmark: events executed and wall-clock.
+
+Runs representative topologies end-to-end and reports the kernel
+counters every :class:`ScenarioResult` now carries — events
+scheduled/executed/cancelled, heap compactions — plus wall-clock and
+events per wall-second:
+
+* ``quickstart``     — one 802.11n client, MORE DATA HACK download;
+* ``lossy-link``     — one client behind an SNR loss model (Fig 11);
+* ``fig10-4c-hack``  — the Fig 10 four-client MORE DATA cell;
+* ``fig10-10c-tcp``  — the Fig 10 ten-client stock-TCP cell, the
+  contention-heavy regime where backoff/poll overhead peaks.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py --quick \
+        --out bench-kernel.json
+    PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py \
+        --baseline BENCH_kernel.json   # print ratios vs stored 'before'
+
+Committed before/after numbers live in ``BENCH_kernel.json`` at the
+repo root; the CI benchmark-smoke job runs ``--quick`` and uploads the
+fresh JSON so the trajectory keeps populating.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, Optional
+
+from repro.core.policies import HackPolicy
+from repro.experiments.common import format_table
+from repro.workloads import registry
+from repro.workloads.scenarios import run_scenario
+
+QUICK_DURATIONS = {"duration_ns": 1_500_000_000,
+                   "warmup_ns": 700_000_000}
+
+#: label -> (registry scenario, config overrides)
+TOPOLOGIES = {
+    "quickstart": ("quickstart", {}),
+    "lossy-link": ("lossy-link", {}),
+    "fig10-4c-hack": ("multi-client", {}),
+    "fig10-10c-tcp": ("multi-client",
+                      {"n_clients": 10, "policy": HackPolicy.VANILLA}),
+}
+
+
+def measure(label: str, seed: int, quick: bool) -> Dict[str, object]:
+    scenario, overrides = TOPOLOGIES[label]
+    if quick:
+        overrides = dict(overrides, **QUICK_DURATIONS)
+    config = registry.build(scenario, seed=seed, **overrides)
+    started = time.perf_counter()
+    result = run_scenario(config)
+    wall_s = time.perf_counter() - started
+    kernel = result.kernel_stats
+    return {
+        "events_executed": kernel["events_executed"],
+        "events_scheduled": kernel["events_scheduled"],
+        "events_cancelled": kernel["events_cancelled"],
+        "heap_compactions": kernel["heap_compactions"],
+        "wall_s": round(wall_s, 3),
+        "events_per_s": round(kernel["events_executed"] / wall_s)
+        if wall_s > 0 else 0,
+        "aggregate_goodput_mbps": result.aggregate_goodput_mbps,
+    }
+
+
+def run_benchmark(seed: int, quick: bool) -> Dict[str, Dict[str, object]]:
+    return {label: measure(label, seed, quick) for label in TOPOLOGIES}
+
+
+def print_report(measured: Dict[str, Dict[str, object]],
+                 baseline: Optional[Dict[str, Dict[str, object]]]) -> None:
+    headers = ["topology", "events", "cancelled", "compactions",
+               "wall (s)", "events/s", "goodput (Mbps)"]
+    rows = []
+    for label, m in measured.items():
+        rows.append([label, str(m["events_executed"]),
+                     str(m["events_cancelled"]),
+                     str(m["heap_compactions"]),
+                     f"{m['wall_s']:.2f}", str(m["events_per_s"]),
+                     f"{m['aggregate_goodput_mbps']:.1f}"])
+    print(format_table(headers, rows, title="Kernel hot path"))
+    if baseline:
+        print()
+        for label, m in measured.items():
+            ref = baseline.get(label)
+            if not ref:
+                continue
+            ratio = ref["events_executed"] / m["events_executed"]
+            speedup = ref["wall_s"] / m["wall_s"] if m["wall_s"] else 0
+            print(f"  {label}: {ratio:.2f}x fewer events, "
+                  f"{speedup:.2f}x wall-clock vs baseline")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the event-kernel hot path")
+    parser.add_argument("--quick", action="store_true",
+                        help="1.5 s simulated windows instead of the "
+                             "registry defaults")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the measurements as JSON")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="BENCH_kernel.json-style file whose "
+                             "'before' numbers to print ratios against")
+    args = parser.parse_args(argv)
+
+    measured = run_benchmark(args.seed, args.quick)
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as handle:
+            payload = json.load(handle)
+        mode = "quick" if args.quick else "full"
+        baseline = {label: entry["before"] for label, entry
+                    in payload.get(mode, {}).items()
+                    if "before" in entry}
+    print_report(measured, baseline)
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({
+                "benchmark": "kernel_hotpath",
+                "quick": args.quick,
+                "seed": args.seed,
+                "topologies": measured,
+            }, handle, indent=1, sort_keys=True)
+        print(f"\nwrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -72,6 +72,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="enable AARF rate adaptation")
     sim.add_argument("--sora", action="store_true",
                      help="emulate SoRa's late LL ACKs")
+    sim.add_argument("--kernel-stats", action="store_true",
+                     help="print event-kernel counters (events "
+                          "executed/cancelled, heap compactions, "
+                          "events per wall-second)")
 
     sub.add_parser("scenarios", help="list registered scenarios")
 
@@ -125,7 +129,9 @@ def _simulate(args: argparse.Namespace) -> int:
             extra_response_delay_ns=usec(37) if args.sora else 0,
             ack_timeout_extra_ns=usec(60) if args.sora else 0,
             stagger_ns=50 * MS)
+    started = time.perf_counter()
     result = run_scenario(config)
+    wall_s = time.perf_counter() - started
     print(f"aggregate goodput : "
           f"{result.aggregate_goodput_mbps:8.2f} Mbps")
     for flow_id, goodput in sorted(
@@ -146,6 +152,15 @@ def _simulate(args: argparse.Namespace) -> int:
     timeouts = sum(c["timeouts"]
                    for c in result.sender_counters.values())
     print(f"TCP timeouts      : {timeouts}")
+    if args.kernel_stats:
+        kernel = result.kernel_stats
+        rate = kernel["events_executed"] / wall_s if wall_s > 0 else 0.0
+        print(f"kernel events     : "
+              f"{kernel['events_executed']} executed "
+              f"({rate:,.0f}/s wall), "
+              f"{kernel['events_cancelled']} cancelled, "
+              f"{kernel['events_scheduled']} scheduled")
+        print(f"heap compactions  : {kernel['heap_compactions']}")
     return 0
 
 

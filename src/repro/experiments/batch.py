@@ -43,7 +43,8 @@ from ..workloads.scenarios import ScenarioConfig, ScenarioResult, \
     run_scenario
 
 #: Bump to invalidate every cached cell (simulator semantics changed).
-ENGINE_VERSION = 1
+#: 2: lazy-backoff kernel + kernel_stats in every metrics record.
+ENGINE_VERSION = 2
 
 Key = Tuple[Any, ...]
 Metrics = Dict[str, Any]

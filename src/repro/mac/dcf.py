@@ -24,6 +24,17 @@ Event-ordering subtlety: a station whose backoff expires in the same
 slot as another station's transmission start must still transmit (both
 committed before carrier could be sensed), so busy notifications only
 cancel countdown events scheduled strictly later than "now".
+
+The backoff countdown is *lazy*: instead of one simulator event per
+slot, a single expiry event is scheduled ``slots * slot_ns`` ahead when
+the medium has stayed idle through the IFS.  A busy transition freezes
+the countdown by cancelling that event and crediting the integral
+number of fully elapsed slots (a boundary landing exactly on "now"
+counts, exactly as the per-slot timer would have decremented before
+noticing the busy medium); the remainder resumes after the next
+idle + IFS.  This produces bit-identical behaviour to the historical
+slotted countdown (kept verbatim in ``tests/mac/slotted_reference.py``
+as an oracle) at a fraction of the event cost.
 """
 
 from __future__ import annotations
@@ -134,7 +145,8 @@ class DcfMac(MediumListener):
         self._cw = phy.cw_min
         self._backoff_slots: Optional[int] = None
         self._defer_event = None
-        self._slot_event = None
+        self._backoff_event = None   # the single lazy expiry event
+        self._backoff_anchor = 0     # when the running countdown started
         self._idle_since = 0
         self._use_eifs = False
 
@@ -243,7 +255,7 @@ class DcfMac(MediumListener):
             return
         if self.medium.busy:
             return
-        if self._defer_event is not None or self._slot_event is not None:
+        if self._defer_event is not None or self._backoff_event is not None:
             return
         ifs = self.phy.eifs_ns if self._use_eifs else self.phy.difs_ns
         elapsed = self.sim.now - self._idle_since
@@ -265,23 +277,19 @@ class DcfMac(MediumListener):
             # The medium became busy at this very instant; freeze the
             # countdown (it resumes after the next idle + IFS).
             return
-        self._slot_event = self.sim.schedule(self.phy.slot_ns,
-                                             self._slot_tick)
+        self._backoff_anchor = self.sim.now
+        self._backoff_event = self.sim.schedule(
+            self._backoff_slots * self.phy.slot_ns, self._backoff_expired)
 
-    def _slot_tick(self) -> None:
-        self._slot_event = None
-        assert self._backoff_slots is not None and self._backoff_slots > 0
-        self._backoff_slots -= 1
-        if self._backoff_slots == 0:
-            self._backoff_slots = None
-            if self._current_job is not None:
-                self._transmit_job()
-            return
-        if self.medium.busy:
-            # Busy began exactly at this slot boundary: freeze here.
-            return
-        self._slot_event = self.sim.schedule(self.phy.slot_ns,
-                                             self._slot_tick)
+    def _backoff_expired(self) -> None:
+        # The medium stayed idle for the whole countdown (any busy
+        # transition would have frozen it), or went busy at this very
+        # instant — in which case transmitting anyway is the same-slot
+        # collision case, exactly as the slotted countdown behaved.
+        self._backoff_event = None
+        self._backoff_slots = None
+        if self._current_job is not None:
+            self._transmit_job()
 
     def _draw_backoff(self) -> None:
         self._backoff_slots = self.rng.randint(0, self._cw)
@@ -300,10 +308,18 @@ class DcfMac(MediumListener):
             if self._defer_event.time > now:
                 self._defer_event.cancel()
                 self._defer_event = None
-        if self._slot_event is not None:
-            if self._slot_event.time > now:
-                self._slot_event.cancel()
-                self._slot_event = None
+        event = self._backoff_event
+        if event is not None and event.time > now:
+            event.cancel()
+            self._backoff_event = None
+            # Credit the fully elapsed slots.  A slot boundary landing
+            # exactly on "now" counts: the per-slot timer would have
+            # decremented at that boundary before seeing the busy
+            # medium and freezing.  The expiry event firing at "now"
+            # itself is the (kept) same-slot commitment above.
+            elapsed = (now - self._backoff_anchor) // self.phy.slot_ns
+            if elapsed:
+                self._backoff_slots -= elapsed
 
     # ==================================================================
     # Job construction
@@ -416,13 +432,21 @@ class DcfMac(MediumListener):
 
     def _response_timeout(self) -> None:
         self._response_timeout_event = None
-        if self.medium.busy:
+        busy_until = self.medium.busy_until
+        if busy_until is not None:
             # A frame is in flight.  Usually its end event resolves the
             # exchange, but if it is a frame we ourselves are sending
             # (possible with device-delayed responses) no event will
             # reach us, so poll again rather than relying on delivery.
+            # The historical poll re-checked every slot; the medium is
+            # guaranteed busy until ``busy_until``, so jump straight to
+            # the first slot-grid instant that can possibly be idle —
+            # the same instant the per-slot poll would have declared
+            # failure at, minus the guaranteed-busy wakeups.
+            slot = self.phy.slot_ns
+            ahead = max(1, -((busy_until - self.sim.now) // -slot))
             self._response_timeout_event = self.sim.schedule(
-                self.phy.slot_ns, self._response_timeout, priority=1)
+                ahead * slot, self._response_timeout, priority=1)
             return
         self._attempt_failed()
 
@@ -519,7 +543,26 @@ class DcfMac(MediumListener):
         if self._awaiting_response:
             self._resolve_awaited(None, None)
 
+    def on_frame_overheard(self, frame: Any, sender: Any) -> None:
+        # A frame addressed to another station: all that matters here
+        # is carrier-level state (EIFS shrink-back) and the fact that
+        # an awaited response did not arrive in this frame.
+        if self._transmitting:
+            return  # half-duplex: cannot decode while transmitting
+        if self._use_eifs:
+            # The previous frame was bad but this one is fine: a defer
+            # scheduled with EIFS shrinks back to DIFS.
+            self._use_eifs = False
+            if self._defer_event is not None:
+                self._defer_event.cancel()
+                self._defer_event = None
+                self._maybe_start_contention()
+        if self._awaiting_response:
+            self._resolve_awaited(None, getattr(sender, "address", sender))
+
     def on_frame_received(self, frame: Any, sender: Any) -> None:
+        # The medium dispatches here only for frames addressed to this
+        # station (anything else arrives via on_frame_overheard).
         if self._transmitting:
             return  # half-duplex: cannot decode while transmitting
         if self._use_eifs:
@@ -532,10 +575,8 @@ class DcfMac(MediumListener):
                 self._maybe_start_contention()
         sender_addr = getattr(sender, "address", sender)
 
-        is_for_me = getattr(frame, "dst", None) == self.address
         if self._awaiting_response:
-            expected = (is_for_me
-                        and isinstance(frame, (AckFrame, BlockAckFrame))
+            expected = (isinstance(frame, (AckFrame, BlockAckFrame))
                         and frame.src == self._current_job.dst)
             self._resolve_awaited(frame if expected else None, sender_addr)
             if expected:
@@ -543,8 +584,6 @@ class DcfMac(MediumListener):
             # Fall through: an unexpected frame may still need handling
             # (e.g. the peer sent data because our frame was lost).
 
-        if not is_for_me:
-            return
         if isinstance(frame, (DataFrame, AmpduFrame)):
             self._receive_data(frame, sender, sender_addr)
         elif isinstance(frame, BarFrame):

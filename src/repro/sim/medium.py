@@ -12,12 +12,19 @@ and states there are no hidden terminals).  Consequences:
   :class:`~repro.phy.errors.LossModel` on top of collision corruption.
 
 Frames are opaque to the medium except for their ``duration_ns``, which
-the sender computes from the PHY rate tables.
+the sender computes from the PHY rate tables, and their ``dst``: intact
+frames are dispatched through a per-station address map, so only the
+addressed station pays the full receive path
+(:meth:`MediumListener.on_frame_received`) while every other listener
+gets the cheap carrier-level :meth:`MediumListener.on_frame_overheard`.
+Listener call *order* is unchanged from the broadcast scan (attach
+order), which keeps event sequencing — and therefore whole-simulation
+determinism — identical to the pre-map behaviour.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from .engine import Simulator
 
@@ -57,7 +64,16 @@ class MediumListener:
         """The medium transitioned busy -> idle."""
 
     def on_frame_received(self, frame: Any, sender: Any) -> None:
-        """A frame addressed to anyone arrived intact at this station."""
+        """A frame addressed to this station arrived intact."""
+
+    def on_frame_overheard(self, frame: Any, sender: Any) -> None:
+        """A frame addressed to *another* station arrived intact.
+
+        The default forwards to :meth:`on_frame_received` so listeners
+        that don't distinguish (test doubles, promiscuous observers)
+        keep seeing every frame.
+        """
+        self.on_frame_received(frame, sender)
 
     def on_frame_error(self, frame: Any, sender: Any) -> None:
         """A frame arrived but was corrupted (collision or channel loss)."""
@@ -70,6 +86,8 @@ class Medium:
         self.sim = sim
         self.loss_model = loss_model
         self.listeners: List[MediumListener] = []
+        #: Station address -> listener, for O(1) delivery dispatch.
+        self._by_address: Dict[Any, MediumListener] = {}
         self._active: List[Transmission] = []
         #: Cumulative ns the channel has spent busy (for utilisation stats).
         self.busy_time: int = 0
@@ -84,11 +102,28 @@ class Medium:
     def attach(self, listener: MediumListener) -> None:
         """Register a station; it will hear busy/idle and frame events."""
         self.listeners.append(listener)
+        address = getattr(listener, "address", None)
+        if address is not None:
+            self._by_address[address] = listener
 
     @property
     def busy(self) -> bool:
         """True while any transmission is in flight."""
         return bool(self._active)
+
+    @property
+    def busy_until(self) -> Optional[int]:
+        """When the current busy period is guaranteed to last until:
+        the latest end among in-flight transmissions, or None if idle.
+
+        The medium stays continuously busy up to that instant (every
+        moment before it is covered by the longest-lived transmission);
+        new transmissions can only extend it.  Timers that poll for
+        idle use this to skip guaranteed-busy re-checks.
+        """
+        if not self._active:
+            return None
+        return max(tx.end for tx in self._active)
 
     # ------------------------------------------------------------------
     def transmit(self, sender: Any, frame: Any, duration: int) -> Transmission:
@@ -127,32 +162,52 @@ class Medium:
         # Idle notification precedes frame delivery so that stations'
         # idle-time bookkeeping is fresh when delivery callbacks decide
         # to resume contention at this same instant.
+        listeners = self.listeners
         if not self._active:
             assert self._busy_since is not None
             self.busy_time += now - self._busy_since
             self._busy_since = None
-            for listener in self.listeners:
+            for listener in listeners:
                 listener.on_channel_idle(now)
-        # Deliver to every station except the sender.
-        for listener in self.listeners:
-            if listener is tx.sender:
-                continue
-            if tx.collided:
-                listener.on_frame_error(tx.frame, tx.sender)
-            elif self.loss_model is not None and self.loss_model.is_lost(
-                    tx.sender, listener, tx.frame):
-                listener.on_frame_error(tx.frame, tx.sender)
-            else:
-                listener.on_frame_received(tx.frame, tx.sender)
+        # Deliver to every station except the sender: the addressed
+        # station (resolved once, via the per-station map) takes the
+        # full receive path, everyone else the cheap overheard path.
+        sender = tx.sender
+        frame = tx.frame
+        loss_model = self.loss_model
+        if tx.collided:
+            for listener in listeners:
+                if listener is not sender:
+                    listener.on_frame_error(frame, sender)
+        else:
+            target = self._by_address.get(getattr(frame, "dst", None))
+            for listener in listeners:
+                if listener is sender:
+                    continue
+                if loss_model is not None and loss_model.is_lost(
+                        sender, listener, frame):
+                    listener.on_frame_error(frame, sender)
+                elif listener is target:
+                    listener.on_frame_received(frame, sender)
+                else:
+                    listener.on_frame_overheard(frame, sender)
         for observer in self.observers:
             observer(tx)
 
     def utilisation(self, elapsed: Optional[int] = None) -> float:
-        """Fraction of time the channel was busy."""
+        """Fraction of time the channel was busy, clamped to [0, 1].
+
+        ``elapsed`` measures against a caller-chosen window (e.g. the
+        configured duration); a window shorter than the accumulated
+        busy time yields 1.0 rather than a nonsensical >1 fraction.
+        Negative windows are a caller bug and raise.
+        """
+        if elapsed is not None and elapsed < 0:
+            raise ValueError(f"negative elapsed window {elapsed}")
         total = elapsed if elapsed is not None else self.sim.now
         if total <= 0:
             return 0.0
         busy = self.busy_time
         if self._busy_since is not None:
             busy += self.sim.now - self._busy_since
-        return busy / total
+        return min(1.0, busy / total)

@@ -21,6 +21,19 @@ class WiredPipe:
 
     ``deliver`` is called with each packet after serialisation plus
     propagation delay.  Packets must expose ``byte_length``.
+
+    Because the pipe is a FIFO with a fixed rate and delay, every
+    packet's delivery timestamp is known the moment it is accepted, so
+    serialisation is tracked as plain arithmetic (``_busy_until``) and
+    each packet costs exactly one simulator event (its delivery)
+    instead of the historical serialisation-complete + propagation
+    pair.  Delivery times, FIFO order, drop-tail decisions and the
+    counters' timing (``packets_sent`` reflects serialisation
+    completion, not delivery) match the two-event formulation, with
+    one convention pinned down: at the exact instant a serialisation
+    boundary falls, the packet counts as serialised/started — where
+    the old code's answer depended on whether its boundary event had
+    already run within that same timestamp.
     """
 
     def __init__(self, sim: Simulator, rate_mbps: float, delay_ns: int,
@@ -35,42 +48,66 @@ class WiredPipe:
         self.delay_ns = delay_ns
         self.deliver = deliver
         self.queue_limit = queue_limit
-        self._queue: Deque[Any] = deque()
-        self._transmitting = False
+        #: When the last accepted packet finishes serialising.
+        self._busy_until = 0
+        #: (serialisation start, serialisation end, bytes) per accepted
+        #: packet, folded into the counters as the clock passes each
+        #: end; the entries still ahead of the clock are the queue.
+        self._pending: Deque[tuple] = deque()
         #: Stats
-        self.packets_sent = 0
+        self._packets_sent = 0
+        self._bytes_sent = 0
         self.packets_dropped = 0
-        self.bytes_sent = 0
+
+    def _advance(self) -> None:
+        """Fold serialisations the clock has passed into the counters."""
+        pending = self._pending
+        now = self.sim.now
+        while pending and pending[0][1] <= now:
+            _, _, nbytes = pending.popleft()
+            self._packets_sent += 1
+            self._bytes_sent += nbytes
 
     def send(self, packet: Any) -> bool:
         """Enqueue a packet; returns False (and drops) if the queue is full."""
+        self._advance()
         if (self.queue_limit is not None
-                and len(self._queue) >= self.queue_limit):
+                and self.queue_depth >= self.queue_limit):
             self.packets_dropped += 1
             return False
-        self._queue.append(packet)
-        if not self._transmitting:
-            self._start_next()
+        now = self.sim.now
+        start = self._busy_until if self._busy_until > now else now
+        tx_time = transmission_time_ns(packet.byte_length, self.rate_mbps)
+        self._busy_until = start + tx_time
+        self._pending.append((start, self._busy_until,
+                              packet.byte_length))
+        self.sim.schedule_at(self._busy_until + self.delay_ns,
+                             self._delivered, packet)
         return True
 
     @property
     def queue_depth(self) -> int:
-        return len(self._queue)
+        """Packets accepted but not yet begun serialising."""
+        self._advance()
+        now = self.sim.now
+        return sum(1 for start, _, _ in self._pending if start > now)
 
-    def _start_next(self) -> None:
-        if not self._queue:
-            self._transmitting = False
-            return
-        self._transmitting = True
-        packet = self._queue.popleft()
-        tx_time = transmission_time_ns(packet.byte_length, self.rate_mbps)
-        self.sim.schedule(tx_time, self._serialised, packet)
+    @property
+    def packets_sent(self) -> int:
+        """Packets fully serialised onto the wire (propagation may
+        still be in progress), exactly as the two-event pipe counted."""
+        self._advance()
+        return self._packets_sent
 
-    def _serialised(self, packet: Any) -> None:
-        self.packets_sent += 1
-        self.bytes_sent += packet.byte_length
-        self.sim.schedule(self.delay_ns, self.deliver, packet)
-        self._start_next()
+    @property
+    def bytes_sent(self) -> int:
+        """Bytes fully serialised onto the wire."""
+        self._advance()
+        return self._bytes_sent
+
+    def _delivered(self, packet: Any) -> None:
+        self._advance()
+        self.deliver(packet)
 
 
 class WiredLink:

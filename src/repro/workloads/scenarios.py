@@ -151,6 +151,8 @@ class ScenarioResult:
     clients: Dict[str, Any] = field(default_factory=dict)
     drivers: Dict[str, Any] = field(default_factory=dict)
     trace: Optional[MediumTracer] = None
+    #: Event-kernel counters for this run (see ``SimStats.as_dict``).
+    kernel_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -201,6 +203,7 @@ class ScenarioResult:
                             in self.mac_stats.retry_table().items()},
             "time_breakdown_ms": self.mac_stats.time_breakdown_ms(),
             "drivers": drivers,
+            "kernel_stats": dict(self.kernel_stats),
         }
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -426,4 +429,5 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         clients=clients,
         drivers=drivers,
         trace=tracer,
+        kernel_stats=sim.stats.as_dict(),
     )

@@ -31,3 +31,13 @@ def rng() -> random.Random:
 @pytest.fixture
 def medium(sim) -> Medium:
     return Medium(sim)
+
+
+@pytest.fixture(scope="session")
+def sweep_cache_runner(tmp_path_factory):
+    """One content-hash-cached SweepRunner for the whole session, so
+    the golden-schema and golden-rows suites simulate each quick cell
+    exactly once between them."""
+    from repro.experiments.batch import SweepRunner
+
+    return SweepRunner(cache_dir=tmp_path_factory.mktemp("sweep-golden"))

@@ -15,7 +15,6 @@ import pytest
 
 from repro.experiments import ablations, crossval, fig01, fig09, \
     fig10, fig11, fig12, table2, table3
-from repro.experiments.batch import SweepRunner
 
 GOLDEN = {
     "fig01": (
@@ -70,8 +69,8 @@ MODULES = {"fig01": fig01, "fig09": fig09, "fig10": fig10,
 
 
 @pytest.fixture(scope="module")
-def cached_runner(tmp_path_factory):
-    return SweepRunner(cache_dir=tmp_path_factory.mktemp("golden"))
+def cached_runner(sweep_cache_runner):
+    return sweep_cache_runner
 
 
 @pytest.mark.parametrize("name", sorted(GOLDEN))

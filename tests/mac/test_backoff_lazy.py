@@ -1,0 +1,144 @@
+"""Backoff freeze/resume semantics: lazy expiry vs the slotted oracle.
+
+The lazy backoff (one expiry event, busy transitions credit integral
+elapsed slots) must reproduce the seed's per-slot countdown exactly:
+
+* busy arriving mid-slot discards the partial slot;
+* busy arriving exactly on a slot boundary credits that boundary's
+  decrement (the per-slot timer ticked before noticing the carrier);
+* busy arriving during the IFS defer credits nothing;
+* a corrupted frame makes the resume defer use EIFS;
+* an expiry landing exactly on another station's transmission start
+  still transmits (same-slot collision).
+
+Every test runs both implementations and asserts the frame-level
+traces are identical, plus the hand-computed resume instant.
+"""
+
+import pytest
+
+from repro.mac.dcf import DcfMac
+from repro.mac.params import MacParams
+from repro.phy.params import PHY_11A
+from repro.sim.engine import Simulator
+from repro.sim.medium import Medium
+from repro.sim.units import usec
+
+from tests.helpers import FakeFrame, FakePayload
+from tests.mac.slotted_reference import SlottedDcfMac
+from tests.mac.test_dcf import RecordingUpper, ScriptedRng
+
+SLOT = PHY_11A.slot_ns
+DIFS = PHY_11A.difs_ns
+EIFS = PHY_11A.eifs_ns
+
+IMPLS = (DcfMac, SlottedDcfMac)
+IDS = ("lazy", "slotted-oracle")
+
+BACKOFF = 5  # post-transmission backoff drawn after the first exchange
+
+
+def build(mac_cls, jams=()):
+    """Two stations; A sends two frames to B.  ``jams`` is a list of
+    (start_ns, duration_ns) raw transmissions from an unattached
+    third-party jammer."""
+    sim = Simulator()
+    medium = Medium(sim)
+    params = MacParams(data_rate_mbps=54.0, aggregation=False)
+    a = mac_cls(sim, medium, PHY_11A, "A", params,
+                ScriptedRng((BACKOFF,)), upper=RecordingUpper())
+    mac_cls(sim, medium, PHY_11A, "B", params, ScriptedRng(()),
+            upper=RecordingUpper())
+    trace = []
+    medium.observers.append(
+        lambda tx: trace.append((type(tx.frame).__name__, tx.start,
+                                 tx.end, tx.collided)))
+    jammer = object()
+    for start, duration in jams:
+        sim.schedule(start, medium.transmit, jammer,
+                     FakeFrame(dst="elsewhere"), duration)
+    a.enqueue(FakePayload(100), "B")
+    a.enqueue(FakePayload(100), "B")
+    return sim, a, trace
+
+
+def reference_times():
+    """(ack_end, countdown_anchor) of the unjammed first exchange."""
+    sim, _, trace = build(SlottedDcfMac)
+    sim.run()
+    ack_end = trace[1][2]
+    return ack_end, ack_end + DIFS
+
+
+def data_starts(trace):
+    return [start for name, start, _, _ in trace if name == "DataFrame"]
+
+
+def run_both(jams):
+    traces = []
+    executed = {}
+    for mac_cls, impl_id in zip(IMPLS, IDS):
+        sim, _, trace = build(mac_cls, jams)
+        sim.run()
+        traces.append(trace)
+        executed[impl_id] = sim.stats.executed
+    assert traces[0] == traces[1], "lazy diverged from slotted oracle"
+    return traces[0], executed
+
+
+class TestFreezeResume:
+    def test_unjammed_countdown_runs_to_completion(self):
+        ack_end, anchor = reference_times()
+        trace, _ = run_both(jams=())
+        assert data_starts(trace)[1] == anchor + BACKOFF * SLOT
+
+    def test_busy_mid_slot_discards_partial_slot(self):
+        _, anchor = reference_times()
+        jam = (anchor + 2 * SLOT + 4_000, usec(30))  # mid third slot
+        trace, _ = run_both(jams=(jam,))
+        idle = jam[0] + jam[1]
+        # Two full slots elapsed; the partial third is discarded.
+        assert data_starts(trace)[1] == \
+            idle + DIFS + (BACKOFF - 2) * SLOT
+
+    def test_busy_exactly_on_slot_boundary_credits_the_tick(self):
+        _, anchor = reference_times()
+        jam = (anchor + 2 * SLOT, usec(30))  # exactly on a boundary
+        trace, _ = run_both(jams=(jam,))
+        idle = jam[0] + jam[1]
+        # The boundary decrement happens before the carrier is seen.
+        assert data_starts(trace)[1] == \
+            idle + DIFS + (BACKOFF - 2) * SLOT
+
+    def test_busy_during_ifs_defer_credits_nothing(self):
+        ack_end, _ = reference_times()
+        jam = (ack_end + DIFS // 2, usec(20))  # mid-defer, no countdown
+        trace, _ = run_both(jams=(jam,))
+        idle = jam[0] + jam[1]
+        assert data_starts(trace)[1] == idle + DIFS + BACKOFF * SLOT
+
+    def test_eifs_after_error_then_full_remainder(self):
+        _, anchor = reference_times()
+        # Two overlapping jams collide: the station hears garbage and
+        # must stretch its resume defer to EIFS.
+        jam1 = (anchor + 2 * SLOT + 4_000, usec(30))
+        jam2 = (jam1[0] + usec(5), usec(10))
+        trace, _ = run_both(jams=(jam1, jam2))
+        idle = jam1[0] + jam1[1]
+        assert data_starts(trace)[1] == \
+            idle + EIFS + (BACKOFF - 2) * SLOT
+
+    def test_expiry_on_jammer_start_is_same_slot_collision(self):
+        _, anchor = reference_times()
+        expiry = anchor + BACKOFF * SLOT
+        trace, _ = run_both(jams=((expiry, usec(30)),))
+        second = [entry for entry in trace
+                  if entry[0] == "DataFrame"][1]
+        # Both committed in the same slot: the retry transmits at the
+        # expiry instant anyway and collides with the jammer.
+        assert second[1] == expiry
+        assert second[3] is True
+
+    def test_lazy_executes_fewer_kernel_events(self):
+        _, executed = run_both(jams=())
+        assert executed["lazy"] < executed["slotted-oracle"]

@@ -1,4 +1,7 @@
-"""Event engine: ordering, cancellation, horizons, determinism."""
+"""Event engine: ordering, cancellation, horizons, determinism,
+heap hygiene under mass cancellation."""
+
+import random
 
 import pytest
 
@@ -125,6 +128,77 @@ class TestRunControl:
         for i in range(5):
             sim.schedule(i + 1, lambda: None)
         assert sim.run() == 5
+
+
+def brute_force_pending(sim):
+    return sum(1 for e in sim._heap if not e.cancelled)
+
+
+class TestHeapHygiene:
+    def test_million_cancels_keep_heap_bounded(self, sim):
+        # Regression: cancelled timers used to sit in the heap until
+        # popped, so a timer-heavy run accreted unbounded garbage.
+        sim.schedule(2 * SEC, lambda: None)  # one long-lived survivor
+        peak = 0
+        for i in range(1_000_000):
+            sim.schedule(SEC + i, lambda: None).cancel()
+            if i % 4096 == 0:
+                peak = max(peak, len(sim._heap))
+        peak = max(peak, len(sim._heap))
+        assert peak <= 2 * 64 + 2  # compaction threshold, not 10^6
+        assert sim.stats.cancelled == 1_000_000
+        assert sim.stats.compactions > 1_000
+        assert sim.pending_events == 1
+
+    def test_compaction_does_not_lose_or_reorder_events(self, sim):
+        log = []
+        events = []
+        for i in range(500):
+            events.append(sim.schedule(100 + i, lambda i=i: log.append(i)))
+        for i, event in enumerate(events):
+            if i % 2:
+                event.cancel()
+        sim.run()
+        assert log == [i for i in range(500) if i % 2 == 0]
+
+    def test_pending_events_matches_brute_force(self, sim):
+        rng = random.Random(7)
+        live = []
+        for step in range(2000):
+            action = rng.random()
+            if action < 0.5 or not live:
+                live.append(sim.schedule(rng.randint(1, 1000),
+                                         lambda: None))
+            elif action < 0.9:
+                live.pop(rng.randrange(len(live))).cancel()
+            else:
+                sim.run(max_events=rng.randint(1, 5))
+                live = [e for e in live
+                        if not e.cancelled and e.time > sim.now]
+            assert sim.pending_events == brute_force_pending(sim)
+
+    def test_cancel_after_execution_is_harmless(self, sim):
+        event = sim.schedule(10, lambda: None)
+        sim.schedule(20, lambda: None)
+        sim.run()
+        before = sim.pending_events
+        event.cancel()  # already ran; must not corrupt live counts
+        assert sim.pending_events == before == 0
+        assert sim.stats.cancelled == 0
+
+    def test_stats_counters(self, sim):
+        done = sim.schedule(10, lambda: None)
+        dead = sim.schedule(20, lambda: None)
+        dead.cancel()
+        sim.run()
+        assert sim.stats.scheduled == 2
+        assert sim.stats.executed == 1
+        assert sim.stats.cancelled == 1
+        stats = sim.stats.as_dict()
+        assert stats["events_executed"] == 1
+        assert stats["events_scheduled"] == 2
+        assert stats["events_cancelled"] == 1
+        assert stats["heap_compactions"] == 0
 
 
 class TestDeterminism:

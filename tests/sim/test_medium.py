@@ -1,4 +1,5 @@
-"""Medium semantics: delivery, collisions, carrier sense, utilisation."""
+"""Medium semantics: delivery, collisions, carrier sense, utilisation,
+per-station dispatch."""
 
 import pytest
 
@@ -6,6 +7,17 @@ from repro.sim.medium import Medium
 from repro.sim.units import usec
 
 from tests.helpers import FakeFrame, RecordingListener
+
+
+class AddressedListener(RecordingListener):
+    """Listener with a MAC address that tells received from overheard."""
+
+    def __init__(self, sim, address):
+        super().__init__(sim, address)
+        self.address = address
+
+    def on_frame_overheard(self, frame, sender) -> None:
+        self.events.append(("oh", self.sim.now, frame, sender))
 
 
 def make_net(sim, n=3, loss_model=None):
@@ -145,12 +157,86 @@ class TestLossModel:
         assert len(c.of_kind("rx")) == 1
 
 
+class TestAddressDispatch:
+    def make_addressed(self, sim, n=3):
+        medium = Medium(sim)
+        nodes = [AddressedListener(sim, f"S{i}") for i in range(n)]
+        for node in nodes:
+            medium.attach(node)
+        return medium, nodes
+
+    def test_addressed_station_receives_others_overhear(self, sim):
+        medium, (a, b, c) = self.make_addressed(sim)
+        medium.transmit(a, FakeFrame(dst="S1"), usec(10))
+        sim.run()
+        assert len(b.of_kind("rx")) == 1
+        assert len(b.of_kind("oh")) == 0
+        assert len(c.of_kind("oh")) == 1
+        assert len(c.of_kind("rx")) == 0
+        assert len(a.of_kind("rx")) + len(a.of_kind("oh")) == 0
+
+    def test_unknown_destination_is_overheard_by_all(self, sim):
+        medium, (a, b, c) = self.make_addressed(sim)
+        medium.transmit(a, FakeFrame(dst="nobody"), usec(10))
+        sim.run()
+        assert len(b.of_kind("oh")) == 1
+        assert len(c.of_kind("oh")) == 1
+
+    def test_default_overheard_forwards_to_received(self, sim):
+        # Address-less listeners (plain MediumListener subclasses) keep
+        # the historical promiscuous behaviour.
+        medium, (a, b, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(dst="S1"), usec(10))
+        sim.run()
+        assert len(b.of_kind("rx")) == 1
+
+    def test_collisions_reach_everyone_as_errors(self, sim):
+        medium, (a, b, c) = self.make_addressed(sim)
+        medium.transmit(a, FakeFrame(dst="S1"), usec(10))
+        medium.transmit(c, FakeFrame(dst="S1"), usec(10))
+        sim.run()
+        assert len(b.of_kind("err")) == 2
+        assert len(b.of_kind("rx")) + len(b.of_kind("oh")) == 0
+
+    def test_busy_until_tracks_longest_transmission(self, sim):
+        medium, (a, b, _) = self.make_addressed(sim)
+        assert medium.busy_until is None
+        medium.transmit(a, FakeFrame(dst="S1"), usec(100))
+        medium.transmit(b, FakeFrame(dst="S0"), usec(250))
+        assert medium.busy_until == usec(250)
+        sim.run()
+        assert medium.busy_until is None
+
+
 class TestUtilisation:
     def test_utilisation_fraction(self, sim):
         medium, (a, _, _) = make_net(sim)
         medium.transmit(a, FakeFrame(), usec(100))
         sim.run(until=usec(400))
         assert medium.utilisation() == pytest.approx(0.25)
+
+    def test_sub_window_clamped_to_one(self, sim):
+        # A measurement window shorter than the accumulated busy time
+        # used to report >100% utilisation.
+        medium, (a, _, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run(until=usec(400))
+        assert medium.utilisation(usec(50)) == 1.0
+
+    def test_negative_window_raises(self, sim):
+        medium, _ = make_net(sim)
+        with pytest.raises(ValueError):
+            medium.utilisation(-1)
+
+    def test_zero_window_is_zero(self, sim):
+        medium, _ = make_net(sim)
+        assert medium.utilisation(0) == 0.0
+
+    def test_in_flight_busy_time_counted(self, sim):
+        medium, (a, _, _) = make_net(sim)
+        medium.transmit(a, FakeFrame(), usec(100))
+        sim.run(until=usec(50))
+        assert medium.utilisation() == pytest.approx(1.0)
 
     def test_busy_time_counts_overlap_once(self, sim):
         medium, (a, b, _) = make_net(sim)

@@ -60,6 +60,24 @@ class TestWiredPipe:
         assert pipe.packets_sent == 1
         assert pipe.bytes_sent == 500
 
+    def test_counters_reflect_serialisation_not_delivery(self, sim):
+        # 8000 bits @ 8 Mbps serialise by 1 ms; propagation adds 1 ms.
+        pipe = WiredPipe(sim, 8.0, MS, lambda p: None)
+        pipe.send(FakeFrame(byte_length=1000))
+        sim.run(until=MS + usec(1))
+        assert pipe.packets_sent == 1  # on the wire, not yet delivered
+        assert pipe.bytes_sent == 1000
+
+    def test_bookkeeping_stays_bounded_without_queue_limit(self, sim):
+        # Regression: the accepted-packet deque must be pruned even on
+        # unlimited pipes (every scenario's backhaul), not only when a
+        # queue-limit check happens to read it.
+        pipe = WiredPipe(sim, 100.0, usec(10), lambda p: None)
+        for _ in range(1000):
+            pipe.send(FakeFrame(byte_length=1000))
+            sim.run()
+        assert len(pipe._pending) <= 1
+
     def test_invalid_params(self, sim):
         with pytest.raises(ValueError):
             WiredPipe(sim, 0.0, 0, lambda p: None)
