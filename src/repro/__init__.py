@@ -7,6 +7,8 @@ Public API tour:
 
 * ``repro.workloads`` — :func:`~repro.workloads.scenarios.run_scenario`
   runs a complete simulated WLAN from a declarative config.
+* ``repro.traffic`` — dynamic workloads: arrival processes and the
+  runtime flow lifecycle (churn, FCT experiments).
 * ``repro.core`` — the HACK driver and policies.
 * ``repro.analysis`` — closed-form capacity models (paper Fig 1).
 * ``repro.sim`` / ``repro.mac`` / ``repro.phy`` / ``repro.tcp`` /

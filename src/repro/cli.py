@@ -5,9 +5,11 @@ Four subcommands::
     python -m repro.cli simulate --phy 11n --rate 150 --clients 4 \\
         --policy more_data --duration 4 --seed 2
     python -m repro.cli simulate --scenario wireless-backup
+    python -m repro.cli simulate --scenario churn-web --seed 3
     python -m repro.cli scenarios
     python -m repro.cli experiments fig10 fig11 --quick
     python -m repro.cli sweep all --quick --jobs 4 --out results.json
+    python -m repro.cli sweep fct_churn --quick --jobs 2
     python -m repro.cli sweep scenario:multi-client --seeds 5 --jobs 2
 
 ``simulate`` runs one scenario (ad-hoc flags or a registry name) and
@@ -139,6 +141,9 @@ def _simulate(args: argparse.Namespace) -> int:
         label = f"flow {flow_id}" if flow_id > 0 else \
             f"udp sink {-flow_id}"
         print(f"  {label:<14}: {goodput:8.2f} Mbps")
+    for name, mbps in sorted(
+            result.udp_background_goodput_mbps.items()):
+        print(f"  udp noise @{name:<4}: {mbps:8.2f} Mbps")
     print(f"fairness (Jain)   : {result.fairness_index:8.4f}")
     print(f"frames / collided : {result.medium_frames_sent} / "
           f"{result.medium_frames_collided}")
@@ -152,6 +157,17 @@ def _simulate(args: argparse.Namespace) -> int:
     timeouts = sum(c["timeouts"]
                    for c in result.sender_counters.values())
     print(f"TCP timeouts      : {timeouts}")
+    if result.fct is not None:
+        fct = result.fct
+        print(f"flows             : {fct['flows_spawned']} spawned, "
+              f"{fct['flows_completed']} completed, "
+              f"{fct['flows_censored']} censored")
+        if fct["fct_ms"] is not None:
+            dist = fct["fct_ms"]
+            print(f"FCT (ms)          : p50 {dist['p50']:.1f}, "
+                  f"p95 {dist['p95']:.1f}, p99 {dist['p99']:.1f}")
+        print(f"offered / carried : {fct['offered_load_mbps']:.2f} / "
+              f"{fct['carried_load_mbps']:.2f} Mbps")
     if args.kernel_stats:
         kernel = result.kernel_stats
         rate = kernel["events_executed"] / wall_s if wall_s > 0 else 0.0
@@ -173,11 +189,22 @@ def _scenarios(_args: argparse.Namespace) -> int:
 def _print_scenario_sweep(name: str, result: SweepResult) -> None:
     cell = result.cell((name,), "aggregate_goodput_mbps")
     fairness = result.cell((name,), "fairness_index")
-    print(format_table(
-        ["scenario", "runs", "goodput (Mbps)", "stdev", "fairness"],
-        [[name, str(cell["runs"]), f"{cell['mean']:.2f}",
-          f"{cell['stdev']:.2f}", f"{fairness['mean']:.4f}"]],
-        title=f"Sweep: {name}"))
+    headers = ["scenario", "runs", "goodput (Mbps)", "stdev",
+               "fairness"]
+    row = [name, str(cell["runs"]), f"{cell['mean']:.2f}",
+           f"{cell['stdev']:.2f}", f"{fairness['mean']:.4f}"]
+    metrics = result.metrics_for((name,))
+    if metrics and all(m.get("fct") for m in metrics) \
+            and all(m["fct"]["fct_ms"] for m in metrics):
+        flows = result.cell(
+            (name,), lambda m: m["fct"]["flows_completed"])
+        p50 = result.cell((name,), lambda m: m["fct"]["fct_ms"]["p50"])
+        carried = result.cell(
+            (name,), lambda m: m["fct"]["carried_load_mbps"])
+        headers += ["flows", "FCT p50 (ms)", "carried (Mbps)"]
+        row += [f"{flows['mean']:.0f}", f"{p50['mean']:.1f}",
+                f"{carried['mean']:.2f}"]
+    print(format_table(headers, [row], title=f"Sweep: {name}"))
 
 
 def _sweep(args: argparse.Namespace) -> int:

@@ -380,6 +380,45 @@ class HackDriver(MacUpper):
             if handler is not None:
                 handler(mpdu, delivered)
 
+    # ==================================================================
+    # Flow lifecycle (dynamic traffic)
+    # ==================================================================
+    def release_flow_state(self, five_tuple,
+                           flow_id: Optional[int] = None) -> None:
+        """Reclaim all per-flow HACK state after a flow completes.
+
+        Called by the :class:`~repro.traffic.manager.FlowManager` on
+        teardown.  Both directions of the connection are released (the
+        compressor keys contexts by the ACK stream's five-tuple, which
+        is the reverse of the data direction), and any still-buffered
+        compressed ACKs of the flow are purged so a retained entry can
+        never be re-attached after the flow's CID has been reused.
+        """
+        tuples = (five_tuple, five_tuple.reversed())
+        keys = {t.key() for t in tuples}
+        for peer_name, ps in self._peers.items():
+            if any(entry.segment is not None
+                   and entry.segment.five_tuple.key() in keys
+                   for entry in ps.buffer):
+                # Dropping entries mid-buffer would break the
+                # consecutive-MSN / CID-chain encoding of the entries
+                # after them, so: discard the dead flow's entries (its
+                # cumulative ACKs are moot) and route the remaining
+                # live-flow entries through the standard
+                # flush-to-vanilla path, which also rebases the
+                # compressor so no later delta references dangle.
+                ps.buffer = [
+                    entry for entry in ps.buffer
+                    if entry.segment is None
+                    or entry.segment.five_tuple.key() not in keys]
+                self._flush_buffer(ps, peer_name)
+            for flow_tuple in tuples:
+                ps.compressor.release_flow(flow_tuple)
+                ps.decompressor.release_flow(flow_tuple)
+            if flow_id is not None:
+                ps.ack_ts_sent.pop(flow_id, None)
+                ps.echo_seen.pop(flow_id, None)
+
     # ------------------------------------------------------------------
     @property
     def compressed_acks(self) -> int:

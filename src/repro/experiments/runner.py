@@ -22,8 +22,8 @@ import sys
 import time
 from pathlib import Path
 
-from . import ablations, crossval, fig01, fig09, fig10, fig11, fig12, \
-    table2, table3
+from . import ablations, crossval, fct_churn, fig01, fig09, fig10, \
+    fig11, fig12, table2, table3
 from .batch import SweepRunner
 
 EXPERIMENTS = {
@@ -36,6 +36,7 @@ EXPERIMENTS = {
     "fig11": fig11,
     "fig12": fig12,
     "ablations": ablations,
+    "fct_churn": fct_churn,  # extension: flow churn / FCT
 }
 
 DEFAULT_CACHE_DIR = ".sweep-cache"

@@ -52,6 +52,14 @@ class ClientNode:
         self.senders[sender.flow_id] = sender
         return sender
 
+    def remove_receiver(self, flow_id: int) -> None:
+        """Detach a completed flow's receiver (stray segments dropped)."""
+        self.receivers.pop(flow_id, None)
+
+    def remove_sender(self, flow_id: int) -> None:
+        """Detach a completed flow's sender (stray ACKs dropped)."""
+        self.senders.pop(flow_id, None)
+
     # ------------------------------------------------------------------
     # Driver callbacks
     # ------------------------------------------------------------------

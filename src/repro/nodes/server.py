@@ -38,6 +38,14 @@ class ServerNode:
         self.receivers[receiver.flow_id] = receiver
         return receiver
 
+    def remove_sender(self, flow_id: int) -> Optional[TcpSender]:
+        """Detach a completed flow's sender (late ACKs are ignored)."""
+        return self.senders.pop(flow_id, None)
+
+    def remove_receiver(self, flow_id: int) -> Optional[TcpReceiver]:
+        """Detach a completed flow's receiver."""
+        return self.receivers.pop(flow_id, None)
+
     def send(self, packet: Any) -> None:
         """Transmit a packet toward the AP over the wired link."""
         assert self.link is not None, "server link not attached"

@@ -20,7 +20,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Tuple
 
 from ..tcp.segment import TcpSegment
-from .context import CompressorContext, cid_for_flow
+from .context import CompressorContext, cid_for_flow, cid_for_key
 from .packets import CompressedAck, encode_entry
 
 
@@ -102,6 +102,38 @@ class Compressor:
         self.compressed_bytes += len(data)
         return CompressedAck(msn=msn, cid=context.cid, data=data,
                              segment=segment)
+
+    def release_flow(self, five_tuple) -> bool:
+        """Free the context (and CID) of a finished flow.
+
+        CIDs are one hash byte, so a long-lived link with flow churn
+        would otherwise exhaust them: stale contexts would turn every
+        later hash collision into a permanently uncompressible flow.
+        Releasing makes the CID reusable — the next flow that maps to
+        it re-establishes context via its initial vanilla ACKs.  Flows
+        that were *blocked* by a collision with this CID become
+        compressible again too.
+        """
+        key = five_tuple.key()
+        cid = cid_for_flow(five_tuple)
+        released = False
+        if self._flow_of_cid.get(cid) == key:
+            del self._flow_of_cid[cid]
+            self.contexts.pop(cid, None)
+            if self._last_cid == cid:
+                # The next entry must carry an explicit CID: "same as
+                # previous" must never point at a released context.
+                self._last_cid = None
+            # Flows that lost the CID race against this one were
+            # marked permanently uncompressible; with the CID free
+            # they may claim it (their next vanilla ACKs rebuild
+            # context at both ends).
+            self._blocked_flows = {
+                k for k in self._blocked_flows
+                if cid_for_key(k) != cid}
+            released = True
+        self._blocked_flows.discard(key)
+        return released
 
     def rebase_all(self) -> None:
         """Force the next compressed ACK of every flow to be absolute

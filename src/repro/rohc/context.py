@@ -24,11 +24,16 @@ from typing import Tuple
 from ..tcp.segment import FiveTuple, TcpSegment
 
 
-def cid_for_flow(five_tuple: FiveTuple) -> int:
-    """Lowest byte of MD5 over the 5-tuple (paper §3.3.2, item 2)."""
-    text = "tcp|%s|%s|%d|%d" % five_tuple.key()
+def cid_for_key(key: Tuple[str, str, int, int]) -> int:
+    """CID from a raw 5-tuple key (see :func:`cid_for_flow`)."""
+    text = "tcp|%s|%s|%d|%d" % key
     digest = hashlib.md5(text.encode("ascii")).digest()
     return digest[0]
+
+
+def cid_for_flow(five_tuple: FiveTuple) -> int:
+    """Lowest byte of MD5 over the 5-tuple (paper §3.3.2, item 2)."""
+    return cid_for_key(five_tuple.key())
 
 
 @dataclass

@@ -59,6 +59,21 @@ class Decompressor:
             self.contexts[cid] = context
         context.note_vanilla(segment)
 
+    def release_flow(self, five_tuple) -> bool:
+        """Drop the context of a finished flow (mirror of the
+        compressor-side release): the CID becomes reusable and the
+        next flow hashing to it re-initialises via vanilla ACKs
+        instead of mis-decoding against stale state."""
+        cid = cid_for_flow(five_tuple)
+        context = self.contexts.get(cid)
+        if context is None or \
+                context.five_tuple.key() != five_tuple.key():
+            return False
+        del self.contexts[cid]
+        if self._last_cid == cid:
+            self._last_cid = None
+        return True
+
     # ------------------------------------------------------------------
     def decompress_frame(self, data: bytes) -> List[TcpSegment]:
         """Reconstruct the new (non-duplicate) TCP ACKs in a frame."""

@@ -32,6 +32,40 @@ class RngRegistry:
             self._streams[name] = random.Random(derived)
         return self._streams[name]
 
+    def namespace(self, prefix: str) -> "RngNamespace":
+        """A view whose stream names are prefixed with ``prefix:``.
+
+        Lets a subsystem hand out per-entity streams (per client, per
+        user, per arrival process) without risking a name collision
+        with another subsystem's streams — the traffic layer uses
+        ``registry.namespace("traffic")`` for exactly this.
+        """
+        return RngNamespace(self, prefix)
+
+    def stream_names(self) -> list:
+        """Names of the streams created so far (diagnostics)."""
+        return sorted(self._streams)
+
+
+class RngNamespace:
+    """A prefixed view onto an :class:`RngRegistry`.
+
+    Same ``stream(name)`` contract; the underlying stream is derived
+    from ``"<prefix>:<name>"`` so determinism and creation-order
+    independence carry over unchanged.
+    """
+
+    def __init__(self, registry: RngRegistry, prefix: str):
+        self._registry = registry
+        self._prefix = prefix
+
+    def stream(self, name: str) -> random.Random:
+        return self._registry.stream(f"{self._prefix}:{name}")
+
+    def namespace(self, prefix: str) -> "RngNamespace":
+        return RngNamespace(self._registry,
+                            f"{self._prefix}:{prefix}")
+
 
 def _stable_hash(name: str) -> int:
     """A deterministic (non-salted) string hash.

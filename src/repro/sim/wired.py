@@ -87,10 +87,16 @@ class WiredPipe:
 
     @property
     def queue_depth(self) -> int:
-        """Packets accepted but not yet begun serialising."""
+        """Packets accepted but not yet begun serialising.  O(1):
+        after ``_advance()`` every remaining entry ends after ``now``,
+        and FIFO-contiguous serialisation means only the head can have
+        started (any later entry starts at or after the head's end) —
+        so the depth is the backlog minus that in-flight head."""
         self._advance()
-        now = self.sim.now
-        return sum(1 for start, _, _ in self._pending if start > now)
+        pending = self._pending
+        in_flight = 1 if pending and pending[0][0] <= self.sim.now \
+            else 0
+        return len(pending) - in_flight
 
     @property
     def packets_sent(self) -> int:

@@ -1,0 +1,172 @@
+"""Flow-completion-time statistics.
+
+The paper's tables are steady-state goodputs; churn workloads are
+instead judged by *flow completion time* (FCT): how long each finite
+transfer took from arrival to last-byte ACK.  This module is the
+bookkeeping layer the :class:`~repro.traffic.manager.FlowManager`
+feeds and :meth:`ScenarioResult.metrics_dict` surfaces:
+
+* one :class:`FctRecord` per spawned flow (completed or censored at
+  the end of the run);
+* distribution summaries (p50/p95/p99/mean) computed with a
+  deterministic linear-interpolation percentile, overall and binned by
+  flow size (mice vs. elephants behave very differently under
+  ACK-compression schemes);
+* offered vs. carried load — how much the arrival process asked for
+  vs. what the network actually delivered inside the run window.
+
+Everything here is plain data so sweep records stay JSON-serialisable
+and bit-identical across serial, parallel and cache-restored execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..sim.units import MS
+
+#: Size-bin upper bounds (bytes) and their stable labels, mice first.
+SIZE_BINS: Tuple[Tuple[Optional[int], str], ...] = (
+    (30_000, "<=30KB"),
+    (300_000, "30KB-300KB"),
+    (None, ">300KB"),
+)
+
+
+def percentile(values: Sequence[float], fraction: float) -> float:
+    """Linear-interpolation percentile (deterministic, no numpy).
+
+    ``fraction`` is in [0, 1].  Matches ``numpy.percentile``'s default
+    'linear' method.
+    """
+    if not values:
+        raise ValueError("percentile of empty sequence")
+    if not 0.0 <= fraction <= 1.0:
+        raise ValueError(f"fraction {fraction} outside [0, 1]")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    position = fraction * (len(ordered) - 1)
+    lower = int(position)
+    upper = min(lower + 1, len(ordered) - 1)
+    weight = position - lower
+    return ordered[lower] * (1.0 - weight) + ordered[upper] * weight
+
+
+@dataclass
+class FctRecord:
+    """One flow's lifecycle, as the FlowManager saw it."""
+
+    flow_id: int
+    client: str
+    direction: str
+    size_bytes: int
+    start_ns: int
+    end_ns: Optional[int] = None          # None = censored at run end
+    bytes_delivered: int = 0
+
+    @property
+    def completed(self) -> bool:
+        return self.end_ns is not None
+
+    @property
+    def fct_ns(self) -> Optional[int]:
+        if self.end_ns is None:
+            return None
+        return self.end_ns - self.start_ns
+
+    def as_dict(self) -> Dict[str, Any]:
+        fct = self.fct_ns
+        return {
+            "flow_id": self.flow_id,
+            "client": self.client,
+            "direction": self.direction,
+            "size_bytes": self.size_bytes,
+            "start_ms": self.start_ns / MS,
+            "fct_ms": None if fct is None else fct / MS,
+            "completed": self.completed,
+            "bytes_delivered": self.bytes_delivered,
+        }
+
+
+def _distribution(fcts_ms: Sequence[float]) -> Dict[str, float]:
+    return {
+        "p50": percentile(fcts_ms, 0.50),
+        "p95": percentile(fcts_ms, 0.95),
+        "p99": percentile(fcts_ms, 0.99),
+        "mean": sum(fcts_ms) / len(fcts_ms),
+        "min": min(fcts_ms),
+        "max": max(fcts_ms),
+    }
+
+
+def size_bin_label(size_bytes: int) -> str:
+    for bound, label in SIZE_BINS:
+        if bound is None or size_bytes <= bound:
+            return label
+    raise AssertionError("unreachable: last bin is unbounded")
+
+
+class FctCollector:
+    """Accumulates :class:`FctRecord`\\ s and summarises them."""
+
+    def __init__(self) -> None:
+        self.records: List[FctRecord] = []
+
+    # -- recording -----------------------------------------------------
+    def open(self, flow_id: int, client: str, direction: str,
+             size_bytes: int, now: int) -> FctRecord:
+        record = FctRecord(flow_id=flow_id, client=client,
+                           direction=direction, size_bytes=size_bytes,
+                           start_ns=now)
+        self.records.append(record)
+        return record
+
+    # -- views ---------------------------------------------------------
+    @property
+    def spawned(self) -> int:
+        return len(self.records)
+
+    @property
+    def completed(self) -> List[FctRecord]:
+        return [r for r in self.records if r.completed]
+
+    def summary(self, duration_ns: int,
+                include_flows: bool = True) -> Dict[str, Any]:
+        """The JSON-able block ``metrics_dict`` exposes as ``"fct"``.
+
+        ``duration_ns`` is the load-accounting window (the scenario
+        duration); offered load counts every spawned byte, carried
+        load counts delivered bytes (completed flows in full, censored
+        flows up to their last delivered byte).
+        """
+        done = self.completed
+        fcts_ms = [r.fct_ns / MS for r in done]
+        offered_bytes = sum(r.size_bytes for r in self.records)
+        carried_bytes = sum(
+            r.size_bytes if r.completed else r.bytes_delivered
+            for r in self.records)
+        by_size: Dict[str, Dict[str, Any]] = {}
+        for _, label in SIZE_BINS:
+            bin_fcts = [r.fct_ns / MS for r in done
+                        if size_bin_label(r.size_bytes) == label]
+            if bin_fcts:
+                by_size[label] = dict(
+                    _distribution(bin_fcts), flows=len(bin_fcts))
+        summary: Dict[str, Any] = {
+            "flows_spawned": self.spawned,
+            "flows_completed": len(done),
+            "flows_censored": self.spawned - len(done),
+            "fct_ms": _distribution(fcts_ms) if fcts_ms else None,
+            "fct_by_size_ms": by_size,
+            "offered_load_mbps":
+                offered_bytes * 8 * 1_000.0 / duration_ns
+                if duration_ns > 0 else 0.0,
+            "carried_load_mbps":
+                carried_bytes * 8 * 1_000.0 / duration_ns
+                if duration_ns > 0 else 0.0,
+        }
+        if include_flows:
+            summary["flows"] = [r.as_dict() for r in self.records]
+        return summary

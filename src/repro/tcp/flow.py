@@ -65,3 +65,52 @@ class TcpFlow:
         if self.started_at is None or self.completed_at is None:
             return None
         return self.completed_at - self.started_at
+
+
+def wire_flow(sim, flow_id: int, five_tuple, direction: str,
+              server, client, client_name: str, *,
+              total_bytes: Optional[int],
+              mss: int, initial_cwnd_segments: int,
+              initial_ssthresh_bytes: int, delayed_ack: bool,
+              generate_sack: bool, sack_recovery: bool) -> TcpFlow:
+    """Build one flow's sender/receiver pair and attach the endpoints.
+
+    The single wiring used by both the static scenario builder and the
+    runtime :class:`~repro.traffic.manager.FlowManager`, so a TCP knob
+    added to one traffic path can never silently diverge from the
+    other.  ``five_tuple`` is the data direction's tuple; the ACK
+    stream gets its reverse.  ``server``/``client`` are duck-typed
+    endpoint hosts (``.name``, ``.send``/``.transmit``,
+    ``add_sender``/``add_receiver``).
+    """
+    if direction == "download":
+        sender = TcpSender(
+            sim, flow_id, server.name, client_name,
+            output=server.send, total_bytes=total_bytes, mss=mss,
+            initial_cwnd_segments=initial_cwnd_segments,
+            initial_ssthresh_bytes=initial_ssthresh_bytes,
+            use_sack=sack_recovery, five_tuple=five_tuple)
+        server.add_sender(sender)
+        receiver = TcpReceiver(
+            sim, flow_id, client_name, server.name,
+            output=client.transmit, delayed_ack=delayed_ack,
+            generate_sack=generate_sack or sack_recovery,
+            five_tuple=five_tuple.reversed())
+        client.add_receiver(receiver)
+    elif direction == "upload":
+        sender = TcpSender(
+            sim, flow_id, client_name, server.name,
+            output=client.transmit, total_bytes=total_bytes, mss=mss,
+            initial_cwnd_segments=initial_cwnd_segments,
+            initial_ssthresh_bytes=initial_ssthresh_bytes,
+            use_sack=sack_recovery, five_tuple=five_tuple)
+        client.add_sender(sender)
+        receiver = TcpReceiver(
+            sim, flow_id, server.name, client_name,
+            output=server.send, delayed_ack=delayed_ack,
+            generate_sack=generate_sack or sack_recovery,
+            five_tuple=five_tuple.reversed())
+        server.add_receiver(receiver)
+    else:
+        raise ValueError(f"unknown direction {direction!r}")
+    return TcpFlow(flow_id, sender, receiver)

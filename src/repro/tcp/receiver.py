@@ -140,6 +140,13 @@ class TcpReceiver:
         self.acks_sent += 1
         self.output(ack)
 
+    def close(self) -> None:
+        """Tear down: cancel the delayed-ACK timer (flow reclaim)."""
+        if self._delack_event is not None:
+            self._delack_event.cancel()
+            self._delack_event = None
+        self._pending_ack_segments = 0
+
     def _arm_delack(self) -> None:
         if self._delack_event is None:
             self._delack_event = self.sim.schedule(

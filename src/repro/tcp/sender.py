@@ -374,6 +374,10 @@ class TcpSender:
         self._arm_rto()
 
     # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Tear down: cancel the RTO timer (flow lifecycle reclaim)."""
+        self._cancel_rto()
+
     def _check_complete(self) -> None:
         if (not self.completed and self.total_bytes is not None
                 and self.snd_una >= self.total_bytes):

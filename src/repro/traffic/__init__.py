@@ -1,0 +1,18 @@
+"""Dynamic traffic: arrival processes and runtime flow lifecycle.
+
+This package turns the static, wired-at-t=0 workloads of
+``repro.workloads`` into living ones: flows arrive (Poisson, on/off
+bursts, closed-loop web users, or scripted traces), transfer a finite
+object, and are torn down again with their per-flow state reclaimed.
+Flow-completion-time statistics live in :mod:`repro.stats.fct`.
+"""
+
+from .arrivals import ArrivalProcess, ArrivalSpec, OnOffSource, \
+    PoissonArrivals, SizeSpec, TraceArrivals, WebWorkload, \
+    build_processes
+from .manager import DYNAMIC_FLOW_ID_BASE, FlowManager
+
+__all__ = ["ArrivalSpec", "SizeSpec", "ArrivalProcess",
+           "PoissonArrivals", "OnOffSource", "WebWorkload",
+           "TraceArrivals", "build_processes", "FlowManager",
+           "DYNAMIC_FLOW_ID_BASE"]

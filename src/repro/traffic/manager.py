@@ -1,0 +1,155 @@
+"""Runtime flow lifecycle: create, start and tear down TCP flows.
+
+``run_scenario`` historically wired a fixed set of flows at t=0 and let
+them run forever; the :class:`FlowManager` makes flows first-class
+runtime objects instead.  An arrival process hands it a (size, client)
+pair; the manager builds the sender/receiver pair against the existing
+:class:`~repro.nodes.server.ServerNode` /
+:class:`~repro.nodes.client.ClientNode` endpoints, starts the transfer
+immediately (the arrival instant *is* the flow start), and — when the
+sender sees its last byte cumulatively ACKed — tears the flow down
+again:
+
+* endpoint maps (``server.senders``, ``client.receivers``, …) drop the
+  flow, so later stray segments are ignored instead of reviving it;
+* pending TCP timers (RTO, delayed ACK) are cancelled;
+* ROHC compressor/decompressor contexts for the flow's five-tuple are
+  released on both the client's and the AP's HACK drivers, and any
+  still-buffered compressed ACKs of the flow are purged.  CIDs are a
+  single hash byte (256 values), so under churn this reclamation is
+  what keeps context tables bounded and CID collisions transient
+  instead of permanent.
+
+Every spawned flow is recorded in a
+:class:`~repro.stats.fct.FctCollector`; flows still in flight when the
+run ends are finalised as *censored* with their partial byte count.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from ..sim.engine import Simulator
+from ..stats.fct import FctCollector, FctRecord
+from ..tcp.flow import TcpFlow, wire_flow
+from ..tcp.segment import FiveTuple
+
+#: Dynamic flows get ids above every statically wired flow's.
+DYNAMIC_FLOW_ID_BASE = 1000
+
+
+class FlowManager:
+    """Creates, tracks and reclaims dynamically arriving TCP flows."""
+
+    def __init__(self, sim: Simulator, server, clients: Dict[str, Any],
+                 client_names: List[str], drivers: Dict[str, Any],
+                 collector: FctCollector,
+                 direction: str = "download",
+                 mss: int = 1460,
+                 initial_cwnd_segments: int = 2,
+                 initial_ssthresh_bytes: int = 65_535,
+                 delayed_ack: bool = True,
+                 generate_sack: bool = False,
+                 sack_recovery: bool = False,
+                 ap_name: str = "AP"):
+        if direction not in ("download", "upload"):
+            raise ValueError(f"unknown direction {direction!r}")
+        self.sim = sim
+        self.server = server
+        self.clients = clients
+        self.client_index = {name: i for i, name
+                             in enumerate(client_names)}
+        self.drivers = drivers
+        self.collector = collector
+        self.direction = direction
+        self.mss = mss
+        self.initial_cwnd_segments = initial_cwnd_segments
+        self.initial_ssthresh_bytes = initial_ssthresh_bytes
+        self.delayed_ack = delayed_ack
+        self.generate_sack = generate_sack
+        self.sack_recovery = sack_recovery
+        self.ap_name = ap_name
+
+        self._next_flow_id = DYNAMIC_FLOW_ID_BASE + 1
+        #: flow_id -> (flow, record, on_done)
+        self.live: Dict[int, Tuple[TcpFlow, FctRecord,
+                                   Optional[Callable[[], None]]]] = {}
+        self.flows_spawned = 0
+        self.flows_completed = 0
+
+    # ------------------------------------------------------------------
+    # Creation
+    # ------------------------------------------------------------------
+    def spawn(self, size_bytes: int, client_name: str,
+              on_done: Optional[Callable[[], None]] = None) -> TcpFlow:
+        """Create and immediately start one finite transfer."""
+        if size_bytes <= 0:
+            raise ValueError(f"flow size must be positive, "
+                             f"got {size_bytes}")
+        client = self.clients[client_name]
+        index = self.client_index[client_name]
+        flow_id = self._next_flow_id
+        self._next_flow_id += 1
+        # Ports cycle through a large range so five-tuples of *live*
+        # flows never collide (ids are unique per run).
+        port = 10_000 + (flow_id - DYNAMIC_FLOW_ID_BASE) % 50_000
+        tuple_down = FiveTuple("10.0.0.1", f"10.0.1.{index + 1}",
+                               port, 80)
+        flow = wire_flow(
+            self.sim, flow_id, tuple_down, self.direction,
+            self.server, client, client_name,
+            total_bytes=size_bytes, mss=self.mss,
+            initial_cwnd_segments=self.initial_cwnd_segments,
+            initial_ssthresh_bytes=self.initial_ssthresh_bytes,
+            delayed_ack=self.delayed_ack,
+            generate_sack=self.generate_sack,
+            sack_recovery=self.sack_recovery)
+        record = self.collector.open(flow_id, client_name,
+                                     self.direction, size_bytes,
+                                     self.sim.now)
+        self.live[flow_id] = (flow, record, on_done)
+        self.flows_spawned += 1
+        flow.started_at = self.sim.now
+        flow.sender.on_complete = \
+            lambda fid=flow_id: self._complete(fid)
+        flow.sender.start()
+        return flow
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def _complete(self, flow_id: int) -> None:
+        flow, record, on_done = self.live.pop(flow_id)
+        now = self.sim.now
+        flow.completed_at = now
+        record.end_ns = now
+        record.bytes_delivered = flow.receiver.bytes_delivered
+        self.flows_completed += 1
+        self._reclaim(flow, record.client)
+        if on_done is not None:
+            on_done()
+
+    def _reclaim(self, flow: TcpFlow, client_name: str) -> None:
+        """Release every per-flow resource the stack accumulated."""
+        client = self.clients[client_name]
+        flow_id = flow.flow_id
+        if self.direction == "download":
+            self.server.remove_sender(flow_id)
+            client.remove_receiver(flow_id)
+        else:
+            client.remove_sender(flow_id)
+            self.server.remove_receiver(flow_id)
+        flow.sender.close()
+        flow.receiver.close()
+        five_tuple = flow.sender.five_tuple
+        for driver_name in (client_name, self.ap_name):
+            driver = self.drivers.get(driver_name)
+            if driver is not None:
+                driver.release_flow_state(five_tuple, flow_id=flow_id)
+
+    # ------------------------------------------------------------------
+    def finalize(self) -> None:
+        """End of run: snapshot still-live (censored) flows' partial
+        deliveries.  Censoring itself is ``end_ns`` staying None."""
+        for flow, record, _ in self.live.values():
+            record.bytes_delivered = flow.receiver.bytes_delivered

@@ -20,6 +20,7 @@ from typing import Any, Callable, Dict, List, Sequence
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC, usec
+from ..traffic.arrivals import ArrivalSpec, SizeSpec
 from .scenarios import LossSpec, ScenarioConfig
 
 
@@ -151,6 +152,83 @@ def _wireless_backup() -> ScenarioConfig:
         traffic="tcp_upload", policy=HackPolicy.MORE_DATA,
         file_bytes=20_000_000,
         duration_ns=60 * SEC, warmup_ns=100 * MS, stagger_ns=0)
+
+
+# -- Flow churn (dynamic traffic; see repro.traffic) -------------------
+def _churn_base(policy: HackPolicy,
+                arrivals: ArrivalSpec) -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=2,
+        traffic="dynamic", policy=policy, arrivals=arrivals,
+        duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
+def _poisson_arrivals() -> ArrivalSpec:
+    return ArrivalSpec(
+        kind="poisson", rate_per_s=40.0,
+        size=SizeSpec(kind="lognormal", median_bytes=50_000,
+                      sigma=1.0))
+
+
+def _web_arrivals() -> ArrivalSpec:
+    return ArrivalSpec(
+        kind="web", users_per_client=2, think_time_ms=150.0,
+        size=SizeSpec(kind="lognormal", median_bytes=30_000,
+                      sigma=1.2))
+
+
+@register("churn-poisson",
+          "flow churn: Poisson arrivals (40 flows/s, log-normal "
+          "sizes) across two clients with TCP/HACK — FCT instead of "
+          "steady-state goodput (examples/flow_churn.py)")
+def _churn_poisson() -> ScenarioConfig:
+    return _churn_base(HackPolicy.MORE_DATA, _poisson_arrivals())
+
+
+@register("churn-poisson-vanilla",
+          "the churn-poisson workload on stock TCP/802.11n (the "
+          "baseline HACK is judged against)")
+def _churn_poisson_vanilla() -> ScenarioConfig:
+    return _churn_base(HackPolicy.VANILLA, _poisson_arrivals())
+
+
+@register("churn-web",
+          "closed-loop web users (think/request/wait, log-normal "
+          "objects) with TCP/HACK — the short-flow regime where "
+          "ACK-per-data overhead dominates")
+def _churn_web() -> ScenarioConfig:
+    return _churn_base(HackPolicy.MORE_DATA, _web_arrivals())
+
+
+@register("churn-web-vanilla",
+          "the churn-web workload on stock TCP/802.11n")
+def _churn_web_vanilla() -> ScenarioConfig:
+    return _churn_base(HackPolicy.VANILLA, _web_arrivals())
+
+
+@register("churn-bursty",
+          "per-client on/off bursts (exponential ON/OFF, mice + "
+          "elephants) with TCP/HACK — bursty aggregate load")
+def _churn_bursty() -> ScenarioConfig:
+    return _churn_base(
+        HackPolicy.MORE_DATA,
+        ArrivalSpec(kind="onoff", rate_per_s=60.0, mean_on_ms=150.0,
+                    mean_off_ms=250.0,
+                    size=SizeSpec(kind="bimodal", small_bytes=15_000,
+                                  large_bytes=1_000_000,
+                                  p_small=0.9)))
+
+
+@register("udp-background",
+          "two bulk TCP/HACK downloads sharing the cell with 8 Mbps "
+          "of constant-bit-rate UDP noise per client "
+          "(udp_background_mbps knob)")
+def _udp_background() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=2,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        udp_background_mbps=8.0,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS)
 
 
 @register("sora-testbed",

@@ -6,6 +6,13 @@ setups declaratively (PHY mode, rate, clients, HACK policy, loss
 model, traffic); :func:`run_scenario` wires up the server, wired link,
 AP, clients, drivers and flows, runs the event loop, and returns a
 :class:`ScenarioResult` with goodputs and all collected statistics.
+
+Beyond the paper's static workloads, ``traffic="dynamic"`` plus an
+:class:`~repro.traffic.arrivals.ArrivalSpec` drives the scenario with
+flow churn (arrivals, finite transfers, runtime teardown; see
+:mod:`repro.traffic`), reported through the result's ``fct`` block,
+and ``udp_background_mbps`` adds per-client constant-bit-rate UDP
+noise to any TCP workload.
 """
 
 from __future__ import annotations
@@ -27,11 +34,12 @@ from ..sim.units import MS, SEC, msec, sec, throughput_mbps, usec
 from ..sim.wired import WiredLink
 from ..stats.collectors import MacStats
 from ..stats.fairness import goodput_fairness
+from ..stats.fct import FctCollector
 from ..stats.trace import MediumTracer
-from ..tcp.flow import TcpFlow
-from ..tcp.receiver import TcpReceiver
+from ..traffic.arrivals import ArrivalSpec, build_processes
+from ..traffic.manager import FlowManager
+from ..tcp.flow import TcpFlow, wire_flow
 from ..tcp.segment import FiveTuple
-from ..tcp.sender import TcpSender
 from ..nodes.ap import ApNode
 from ..nodes.client import ClientNode
 from ..nodes.server import ServerNode, UdpSource
@@ -73,7 +81,16 @@ class ScenarioConfig:
     #: matching the paper's "126 packets per flow" sizing).
     flows_per_client: int = 1
     policy: HackPolicy = HackPolicy.VANILLA
-    traffic: str = "tcp_download"      # | "udp_download" | "tcp_upload"
+    #: "tcp_download" | "tcp_upload" | "udp_download" | "dynamic"
+    #: ("dynamic" = no static flows; ``arrivals`` drives all traffic).
+    traffic: str = "tcp_download"
+    #: Flow churn: when set, a :class:`~repro.traffic.FlowManager`
+    #: creates/tears down finite flows at runtime as this arrival
+    #: process dictates (composes with static ``traffic`` modes).
+    arrivals: Optional[ArrivalSpec] = None
+    #: Constant-bit-rate UDP background noise per client (0 = none);
+    #: rides alongside any TCP traffic, static or churn.
+    udp_background_mbps: float = 0.0
     seed: int = 1
     duration_ns: int = 3 * SEC
     warmup_ns: int = 1 * SEC
@@ -153,6 +170,17 @@ class ScenarioResult:
     trace: Optional[MediumTracer] = None
     #: Event-kernel counters for this run (see ``SimStats.as_dict``).
     kernel_stats: Dict[str, int] = field(default_factory=dict)
+    #: Flow-churn results (``FctCollector.summary``); None for
+    #: scenarios without an arrival process.
+    fct: Optional[Dict[str, Any]] = None
+    #: Measured CBR background noise per client (empty when the
+    #: ``udp_background_mbps`` knob is off).  Deliberately separate
+    #: from ``per_flow_goodput_mbps``: noise must not inflate the
+    #: workload's aggregate goodput.
+    udp_background_goodput_mbps: Dict[str, float] = field(
+        default_factory=dict)
+    #: The live FlowManager (in-process consumers/tests; not metrics).
+    traffic_manager: Optional[FlowManager] = None
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -204,6 +232,9 @@ class ScenarioResult:
             "time_breakdown_ms": self.mac_stats.time_breakdown_ms(),
             "drivers": drivers,
             "kernel_stats": dict(self.kernel_stats),
+            "fct": self.fct,
+            "udp_background_goodput_mbps":
+                dict(self.udp_background_goodput_mbps),
         }
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -301,62 +332,47 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         drivers[name] = driver
 
     # --- Traffic -----------------------------------------------------
+    if cfg.traffic not in ("tcp_download", "tcp_upload",
+                           "udp_download", "dynamic"):
+        raise ValueError(f"unknown traffic {cfg.traffic!r}")
+    if cfg.traffic == "dynamic" and cfg.arrivals is None:
+        raise ValueError(
+            "traffic='dynamic' requires an ArrivalSpec in cfg.arrivals")
+    if cfg.udp_background_mbps > 0 and cfg.traffic == "udp_download":
+        raise ValueError("udp_background_mbps composes with TCP "
+                         "traffic; use udp_rate_mbps for udp_download")
     flows: List[TcpFlow] = []
-    udp_sources: List[UdpSource] = []
+    udp_sources: List[tuple] = []       # (client name, UdpSource)
     flow_specs = []
-    for index, name in enumerate(cfg.client_names()):
-        if cfg.traffic == "udp_download":
-            flow_specs.append((index, name, 0))
-        else:
-            for sub in range(max(1, cfg.flows_per_client)):
-                flow_specs.append((index, name, sub))
+    if cfg.traffic != "dynamic":
+        for index, name in enumerate(cfg.client_names()):
+            if cfg.traffic == "udp_download":
+                flow_specs.append((index, name, 0))
+            else:
+                for sub in range(max(1, cfg.flows_per_client)):
+                    flow_specs.append((index, name, sub))
     for spec_index, (index, name, sub) in enumerate(flow_specs):
         start_at = spec_index * cfg.stagger_ns
         if cfg.traffic == "udp_download":
             source = UdpSource(sim, server, name, cfg.udp_rate_mbps)
-            udp_sources.append(source)
+            udp_sources.append((name, source))
             sim.schedule(start_at, source.start)
             continue
         flow_id = spec_index + 1
         tuple_down = FiveTuple("10.0.0.1", f"10.0.1.{index + 1}",
                                5000 + flow_id, 80)
-        if cfg.traffic == "tcp_download":
-            sender = TcpSender(
-                sim, flow_id, server.name, name,
-                output=server.send, total_bytes=cfg.file_bytes,
-                mss=cfg.mss,
-                initial_cwnd_segments=cfg.initial_cwnd_segments,
-                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
-                use_sack=cfg.sack_recovery,
-                five_tuple=tuple_down)
-            server.add_sender(sender)
-            client = clients[name]
-            receiver = TcpReceiver(
-                sim, flow_id, name, server.name,
-                output=client.transmit, delayed_ack=cfg.delayed_ack,
-                generate_sack=cfg.generate_sack or cfg.sack_recovery,
-                five_tuple=tuple_down.reversed())
-            client.add_receiver(receiver)
-        elif cfg.traffic == "tcp_upload":
-            client = clients[name]
-            sender = TcpSender(
-                sim, flow_id, name, server.name,
-                output=client.transmit, total_bytes=cfg.file_bytes,
-                mss=cfg.mss,
-                initial_cwnd_segments=cfg.initial_cwnd_segments,
-                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
-                use_sack=cfg.sack_recovery,
-                five_tuple=tuple_down)
-            client.add_sender(sender)
-            receiver = TcpReceiver(
-                sim, flow_id, server.name, name,
-                output=server.send, delayed_ack=cfg.delayed_ack,
-                generate_sack=cfg.generate_sack or cfg.sack_recovery,
-                five_tuple=tuple_down.reversed())
-            server.add_receiver(receiver)
-        else:
-            raise ValueError(f"unknown traffic {cfg.traffic!r}")
-        flow = TcpFlow(flow_id, sender, receiver)
+        direction = "download" if cfg.traffic == "tcp_download" \
+            else "upload"
+        flow = wire_flow(
+            sim, flow_id, tuple_down, direction, server,
+            clients[name], name, total_bytes=cfg.file_bytes,
+            mss=cfg.mss,
+            initial_cwnd_segments=cfg.initial_cwnd_segments,
+            initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+            delayed_ack=cfg.delayed_ack,
+            generate_sack=cfg.generate_sack,
+            sack_recovery=cfg.sack_recovery)
+        sender = flow.sender
         flows.append(flow)
 
         def _start(s=sender, f=flow):
@@ -368,6 +384,35 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
 
         sender.on_complete = _done
         sim.schedule(start_at, _start)
+
+    # --- Flow churn (dynamic arrivals) -------------------------------
+    flow_manager: Optional[FlowManager] = None
+    if cfg.arrivals is not None:
+        flow_manager = FlowManager(
+            sim, server, clients, cfg.client_names(), drivers,
+            FctCollector(),
+            direction=cfg.arrivals.direction, mss=cfg.mss,
+            initial_cwnd_segments=cfg.initial_cwnd_segments,
+            initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+            delayed_ack=cfg.delayed_ack,
+            generate_sack=cfg.generate_sack,
+            sack_recovery=cfg.sack_recovery)
+        for process in build_processes(sim, cfg.arrivals,
+                                       flow_manager.spawn,
+                                       cfg.client_names(), rngs):
+            sim.schedule(cfg.arrivals.start_ns, process.start)
+
+    # --- UDP background noise ----------------------------------------
+    # Kept out of ``udp_sources``/``per_flow``: noise is environment,
+    # not workload — it must not inflate aggregate goodput the way
+    # ``udp_download``'s sinks (the measured traffic) legitimately do.
+    udp_background: List[tuple] = []
+    if cfg.udp_background_mbps > 0:
+        for name in cfg.client_names():
+            source = UdpSource(sim, server, name,
+                               cfg.udp_background_mbps)
+            udp_background.append((name, source))
+            sim.schedule(0, source.start)
 
     # --- Measurement windows -----------------------------------------
     def snapshot_all() -> None:
@@ -400,12 +445,23 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
             "retransmits": flow.sender.retransmits,
             "segments_sent": flow.sender.segments_sent,
         }
-    for index, source in enumerate(udp_sources):
-        name = cfg.client_names()[index]
+    for index, (name, source) in enumerate(udp_sources):
         snaps = clients[name].udp_snapshots
         if len(snaps) >= 2:
             (t0, b0), (t1, b1) = snaps[0], snaps[-1]
             per_flow[-(index + 1)] = throughput_mbps(b1 - b0, t1 - t0)
+
+    background_mbps: Dict[str, float] = {}
+    for name, source in udp_background:
+        snaps = clients[name].udp_snapshots
+        if len(snaps) >= 2:
+            (t0, b0), (t1, b1) = snaps[0], snaps[-1]
+            background_mbps[name] = throughput_mbps(b1 - b0, t1 - t0)
+
+    fct_summary: Optional[Dict[str, Any]] = None
+    if flow_manager is not None:
+        flow_manager.finalize()
+        fct_summary = flow_manager.collector.summary(cfg.duration_ns)
 
     decomp: Dict[str, int] = {
         "acks_reconstructed": 0, "crc_failures": 0, "unknown_cid": 0,
@@ -430,4 +486,7 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         drivers=drivers,
         trace=tracer,
         kernel_stats=sim.stats.as_dict(),
+        fct=fct_summary,
+        traffic_manager=flow_manager,
+        udp_background_goodput_mbps=background_mbps,
     )

@@ -1,0 +1,66 @@
+"""fct_churn experiment harness: schema, acceptance, determinism."""
+
+import pytest
+
+from repro.experiments import fct_churn, runner
+from repro.experiments.batch import SweepRunner
+
+SCHEMA = {"figure", "shape", "load", "scheme", "flows_completed",
+          "flows_censored", "fct_p50_ms", "fct_p95_ms", "fct_p99_ms",
+          "offered_mbps", "carried_mbps"}
+
+
+@pytest.fixture(scope="module")
+def quick_rows(sweep_cache_runner):
+    # Trimmed grid: one load level, both shapes, both policies.
+    return fct_churn.run(quick=True, loads=("high",),
+                         runner=sweep_cache_runner)
+
+
+class TestHarness:
+    def test_registered_with_runner(self):
+        assert runner.EXPERIMENTS["fct_churn"] is fct_churn
+
+    def test_sweep_spec_shape(self):
+        spec = fct_churn.sweep_spec(quick=True)
+        assert spec.name == "fct_churn"
+        # shapes x loads x schemes x one quick seed
+        assert len(spec) == 2 * 2 * 2
+        assert all(p.config.traffic == "dynamic" for p in spec.points)
+
+    def test_row_schema(self, quick_rows):
+        assert quick_rows
+        for row in quick_rows:
+            assert set(row) == SCHEMA
+
+    def test_acceptance_cells(self, quick_rows):
+        """>= 4 cells (HACK on/off x 2 shapes) with completions and
+        p50/p95/p99 — the PR's acceptance criterion."""
+        cells = {(r["shape"], r["scheme"]) for r in quick_rows}
+        assert len(cells) >= 4
+        for row in quick_rows:
+            assert row["flows_completed"] > 0
+            assert 0 < row["fct_p50_ms"] <= row["fct_p95_ms"] \
+                <= row["fct_p99_ms"]
+            assert row["offered_mbps"] > 0
+            assert row["carried_mbps"] > 0
+
+    def test_rows_deterministic(self, quick_rows, sweep_cache_runner):
+        again = fct_churn.run(quick=True, loads=("high",),
+                              runner=sweep_cache_runner)
+        assert quick_rows == again
+
+    def test_deterministic_without_cache(self):
+        kwargs = dict(quick=True, shapes=("web",), loads=("high",))
+        assert fct_churn.run(**kwargs) == fct_churn.run(**kwargs)
+
+    def test_format_rows_renders(self, quick_rows):
+        text = fct_churn.format_rows(quick_rows)
+        assert "Flow churn" in text
+        assert "FCT p50" in text
+        assert "HACK changes p50 FCT" in text
+
+    def test_parallel_matches_serial(self, quick_rows):
+        parallel = fct_churn.run(quick=True, loads=("high",),
+                                 runner=SweepRunner(jobs=2))
+        assert parallel == quick_rows

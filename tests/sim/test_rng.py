@@ -32,6 +32,34 @@ class TestStreams:
         assert reg.stream("a").random() != reg.stream("b").random()
 
 
+class TestNamespace:
+    def test_prefixes_the_underlying_stream(self):
+        reg = RngRegistry(5)
+        ns = reg.namespace("traffic")
+        assert ns.stream("poisson") is reg.stream("traffic:poisson")
+
+    def test_isolated_from_bare_names(self):
+        reg = RngRegistry(5)
+        assert reg.namespace("traffic").stream("x") is not \
+            reg.stream("x")
+
+    def test_nested_namespaces(self):
+        reg = RngRegistry(5)
+        nested = reg.namespace("a").namespace("b")
+        assert nested.stream("c") is reg.stream("a:b:c")
+
+    def test_deterministic_across_registries(self):
+        a = RngRegistry(9).namespace("traffic").stream("web-C1-u0")
+        b = RngRegistry(9).namespace("traffic").stream("web-C1-u0")
+        assert a.random() == b.random()
+
+    def test_stream_names_lists_created(self):
+        reg = RngRegistry(1)
+        reg.stream("mac-AP")
+        reg.namespace("traffic").stream("poisson")
+        assert reg.stream_names() == ["mac-AP", "traffic:poisson"]
+
+
 class TestStableHash:
     def test_deterministic(self):
         assert _stable_hash("phy-loss") == _stable_hash("phy-loss")

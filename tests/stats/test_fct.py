@@ -1,0 +1,119 @@
+"""FCT statistics layer: percentiles, records, summaries."""
+
+import pytest
+
+from repro.sim.units import MS, SEC
+from repro.stats.fct import FctCollector, FctRecord, percentile, \
+    size_bin_label
+
+
+class TestPercentile:
+    def test_empty_raises(self):
+        with pytest.raises(ValueError, match="empty"):
+            percentile([], 0.5)
+
+    def test_out_of_range_fraction(self):
+        with pytest.raises(ValueError, match="outside"):
+            percentile([1.0], 1.5)
+
+    def test_single_value(self):
+        assert percentile([42.0], 0.0) == 42.0
+        assert percentile([42.0], 0.5) == 42.0
+        assert percentile([42.0], 1.0) == 42.0
+
+    def test_bounds(self):
+        values = [5.0, 1.0, 3.0]
+        assert percentile(values, 0.0) == 1.0
+        assert percentile(values, 1.0) == 5.0
+
+    def test_linear_interpolation(self):
+        assert percentile([0.0, 10.0], 0.25) == 2.5
+        assert percentile([1.0, 2.0, 3.0, 4.0], 0.5) == 2.5
+
+    def test_order_independent(self):
+        assert percentile([3.0, 1.0, 2.0], 0.95) == \
+            percentile([1.0, 2.0, 3.0], 0.95)
+
+
+class TestSizeBins:
+    def test_labels_cover_all_sizes(self):
+        assert size_bin_label(1) == "<=30KB"
+        assert size_bin_label(30_000) == "<=30KB"
+        assert size_bin_label(30_001) == "30KB-300KB"
+        assert size_bin_label(300_001) == ">300KB"
+        assert size_bin_label(10**9) == ">300KB"
+
+
+class TestRecord:
+    def test_completed_fct(self):
+        record = FctRecord(1, "C1", "download", 1000,
+                           start_ns=2 * MS, end_ns=5 * MS)
+        assert record.completed
+        assert record.fct_ns == 3 * MS
+        assert record.as_dict()["fct_ms"] == 3.0
+
+    def test_censored(self):
+        record = FctRecord(1, "C1", "download", 1000, start_ns=0)
+        assert not record.completed
+        assert record.fct_ns is None
+        assert record.as_dict()["fct_ms"] is None
+
+
+class TestCollector:
+    def make(self):
+        collector = FctCollector()
+        a = collector.open(1, "C1", "download", 10_000, now=0)
+        a.end_ns = 10 * MS
+        a.bytes_delivered = 10_000
+        b = collector.open(2, "C2", "download", 500_000, now=5 * MS)
+        b.end_ns = 105 * MS
+        b.bytes_delivered = 500_000
+        c = collector.open(3, "C1", "download", 1_000_000, now=8 * MS)
+        c.bytes_delivered = 400_000       # censored
+        return collector
+
+    def test_counts(self):
+        summary = self.make().summary(1 * SEC)
+        assert summary["flows_spawned"] == 3
+        assert summary["flows_completed"] == 2
+        assert summary["flows_censored"] == 1
+
+    def test_distribution_over_completed_only(self):
+        summary = self.make().summary(1 * SEC)
+        dist = summary["fct_ms"]
+        assert dist["min"] == 10.0
+        assert dist["max"] == 100.0
+        assert dist["p50"] == 55.0
+        assert dist["mean"] == 55.0
+
+    def test_size_bins(self):
+        bins = self.make().summary(1 * SEC)["fct_by_size_ms"]
+        assert bins["<=30KB"]["flows"] == 1
+        assert bins[">300KB"]["flows"] == 1
+        assert "30KB-300KB" not in bins   # no completed flows there
+
+    def test_offered_vs_carried(self):
+        summary = self.make().summary(1 * SEC)
+        offered = (10_000 + 500_000 + 1_000_000) * 8 / 1e6   # Mbit/s
+        carried = (10_000 + 500_000 + 400_000) * 8 / 1e6
+        assert summary["offered_load_mbps"] == pytest.approx(offered)
+        assert summary["carried_load_mbps"] == pytest.approx(carried)
+        assert summary["carried_load_mbps"] < \
+            summary["offered_load_mbps"]
+
+    def test_empty_collector(self):
+        summary = FctCollector().summary(1 * SEC)
+        assert summary["flows_spawned"] == 0
+        assert summary["fct_ms"] is None
+        assert summary["fct_by_size_ms"] == {}
+        assert summary["offered_load_mbps"] == 0.0
+
+    def test_zero_duration_guard(self):
+        summary = self.make().summary(0)
+        assert summary["offered_load_mbps"] == 0.0
+        assert summary["carried_load_mbps"] == 0.0
+
+    def test_flows_list_optional(self):
+        assert "flows" not in self.make().summary(
+            1 * SEC, include_flows=False)
+        assert len(self.make().summary(1 * SEC)["flows"]) == 3

@@ -32,6 +32,35 @@ class TestFlowStats:
         stats.record(0, 100)
         assert stats.goodput_mbps() == 0.0
 
+    def test_empty_window_with_explicit_bounds(self):
+        # Edge case: bounds given but no snapshots at all.
+        stats = FlowStats()
+        assert stats.goodput_mbps(0, 1 * SEC) == 0.0
+
+    def test_one_sample_window_collapses_to_zero(self):
+        # Both window edges resolve to the same (single nearest)
+        # snapshot: zero-duration window must not divide by zero.
+        stats = FlowStats()
+        stats.record(0, 0)
+        stats.record(1 * SEC, 4_000_000)
+        assert stats.goodput_mbps(1 * SEC, 1 * SEC) == 0.0
+        assert stats.goodput_mbps(SEC - 1, 2 * SEC) == 0.0
+
+    def test_identical_timestamps(self):
+        # Two snapshots at the same instant (duration 0): guarded.
+        stats = FlowStats()
+        stats.record(5, 100)
+        stats.record(5, 200)
+        assert stats.goodput_mbps() == 0.0
+
+    def test_window_wider_than_snapshots_clamps(self):
+        stats = FlowStats()
+        stats.record(1 * SEC, 1_000_000)
+        stats.record(2 * SEC, 3_000_000)
+        # Querying far outside the recorded range uses the extreme
+        # snapshots rather than extrapolating.
+        assert stats.goodput_mbps(0, 100 * SEC) == pytest.approx(16.0)
+
 
 class TestSummaryDict:
     def test_json_serialisable(self):
