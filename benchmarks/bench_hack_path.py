@@ -1,0 +1,148 @@
+#!/usr/bin/env python3
+"""ROHC encode/decode microbenchmark: the HACK per-ACK hot path.
+
+Measures the data-plane cost of the paper's headline mechanism in
+isolation from the event kernel: a synthetic steady-state ACK stream
+(constant stride, ms-granularity timestamps — the paper's 2-3-byte
+case) plus a churny stream (changing deltas, occasional rebase) is
+pushed through
+
+* ``Compressor.compress`` (per-ACK encode: delta selection, CRC-3,
+  serialisation),
+* ``build_frame``/retention batching (the bytes the LL ACK carries),
+* ``Decompressor.decompress_frame`` (parse, MSN dedup, CRC check,
+  ACK reconstruction),
+
+and reports ACKs/second per stage.  Committed before/after numbers
+live in the ``hack_path`` block of ``BENCH_kernel.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_hack_path.py --acks 20000 \
+        --out bench-hack.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict, List
+
+from repro.rohc.compressor import Compressor
+from repro.rohc.decompressor import Decompressor
+from repro.rohc.packets import build_frame
+from repro.tcp.segment import FiveTuple, TcpSegment
+
+
+def make_ack_stream(count: int, flows: int = 4,
+                    steady: bool = True) -> List[TcpSegment]:
+    """A deterministic pure-ACK stream shaped like a bulk download."""
+    acks: List[TcpSegment] = []
+    tuples = [FiveTuple("10.0.1.1", "10.0.0.1", 5000 + i, 80)
+              for i in range(flows)]
+    cum = [0] * flows
+    for i in range(count):
+        flow = i % flows
+        if steady:
+            cum[flow] += 2920            # two full segments per ACK
+            ts = 1 + i // 50             # ms ticks advance slowly
+        else:
+            cum[flow] += 1460 + (i * 397) % 4096   # varying stride
+            ts = i // 3
+        acks.append(TcpSegment(
+            flow_id=flow + 1, src="C1", dst="AP", seq=0,
+            payload_bytes=0, ack=cum[flow], rwnd=65_535,
+            ts_val=ts, ts_ecr=max(0, ts - 1),
+            five_tuple=tuples[flow]))
+    return acks
+
+
+def run_stream(acks: List[TcpSegment], batch: int = 8
+               ) -> Dict[str, float]:
+    compressor = Compressor(init_threshold=1)
+    decompressor = Decompressor()
+    for ack in acks[:len({a.flow_id for a in acks})]:
+        compressor.note_vanilla_ack(ack)
+        decompressor.note_vanilla_ack(ack)
+
+    started = time.perf_counter()
+    entries = []
+    for ack in acks:
+        if not compressor.can_compress(ack):
+            compressor.note_vanilla_ack(ack)
+            decompressor.note_vanilla_ack(ack)
+            continue
+        entries.append(compressor.compress(ack))
+    encode_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    frames = [build_frame(entries[i:i + batch])
+              for i in range(0, len(entries), batch)]
+    frame_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    reconstructed = 0
+    for frame in frames:
+        reconstructed += len(decompressor.decompress_frame(frame))
+    decode_s = time.perf_counter() - started
+
+    compressed_bytes = sum(len(e.data) for e in entries)
+    return {
+        "acks": len(acks),
+        "compressed": len(entries),
+        "reconstructed": reconstructed,
+        "bytes_per_ack": round(compressed_bytes / max(1, len(entries)),
+                               3),
+        "encode_s": round(encode_s, 4),
+        "frame_s": round(frame_s, 4),
+        "decode_s": round(decode_s, 4),
+        "encode_acks_per_s": round(len(entries) / encode_s)
+        if encode_s > 0 else 0,
+        "decode_acks_per_s": round(reconstructed / decode_s)
+        if decode_s > 0 else 0,
+        "crc_failures": decompressor.crc_failures,
+        "parse_errors": decompressor.parse_errors,
+    }
+
+
+def run_benchmark(acks: int, repeats: int) -> Dict[str, Dict[str, float]]:
+    out: Dict[str, Dict[str, float]] = {}
+    for label, steady in (("steady", True), ("churny", False)):
+        stream = make_ack_stream(acks, steady=steady)
+        best: Dict[str, float] = {}
+        for _ in range(repeats):
+            measured = run_stream(stream)
+            if not best or measured["encode_s"] + measured["decode_s"] \
+                    < best["encode_s"] + best["decode_s"]:
+                best = measured
+        out[label] = best
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Benchmark the ROHC encode/decode hot path")
+    parser.add_argument("--acks", type=int, default=20_000)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    results = run_benchmark(args.acks, args.repeats)
+    for label, m in results.items():
+        print(f"{label:>7}: encode {m['encode_acks_per_s']:>9,}/s  "
+              f"decode {m['decode_acks_per_s']:>9,}/s  "
+              f"{m['bytes_per_ack']:.2f} B/ACK  "
+              f"(crc_failures={m['crc_failures']})")
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump({"benchmark": "hack_path", "acks": args.acks,
+                       "streams": results}, handle, indent=1,
+                      sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -27,10 +27,12 @@ fresh JSON so the trajectory keeps populating.
 from __future__ import annotations
 
 import argparse
+import cProfile
 import json
+import pstats
 import sys
 import time
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro.core.policies import HackPolicy
 from repro.experiments.common import format_table
@@ -75,6 +77,48 @@ def run_benchmark(seed: int, quick: bool) -> Dict[str, Dict[str, object]]:
     return {label: measure(label, seed, quick) for label in TOPOLOGIES}
 
 
+PROFILE_TOP_N = 25
+
+
+def profile_topology(label: str, seed: int,
+                     quick: bool) -> List[Dict[str, object]]:
+    """One profiled run: top cumulative-time functions as JSON rows.
+
+    Run *separately* from :func:`measure` so profiler overhead never
+    distorts the committed wall/events-per-second numbers.
+    """
+    scenario, overrides = TOPOLOGIES[label]
+    if quick:
+        overrides = dict(overrides, **QUICK_DURATIONS)
+    config = registry.build(scenario, seed=seed, **overrides)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_scenario(config)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:PROFILE_TOP_N]:
+        cc, nc, tt, ct, _callers = stats.stats[func]
+        filename, line, name = func
+        rows.append({
+            "function": name,
+            "file": filename,
+            "line": line,
+            "ncalls": nc,
+            "primitive_calls": cc,
+            "tottime_s": round(tt, 4),
+            "cumtime_s": round(ct, 4),
+        })
+    return rows
+
+
+def run_profiles(seed: int, quick: bool
+                 ) -> Dict[str, List[Dict[str, object]]]:
+    return {label: profile_topology(label, seed, quick)
+            for label in TOPOLOGIES}
+
+
 def print_report(measured: Dict[str, Dict[str, object]],
                  baseline: Optional[Dict[str, Dict[str, object]]]) -> None:
     headers = ["topology", "events", "cancelled", "compactions",
@@ -111,6 +155,12 @@ def main(argv=None) -> int:
     parser.add_argument("--baseline", default=None, metavar="PATH",
                         help="BENCH_kernel.json-style file whose "
                              "'before' numbers to print ratios against")
+    parser.add_argument("--profile", default=None, metavar="PATH",
+                        help="also run each topology once under "
+                             "cProfile (separately, so timings stay "
+                             "honest) and write the top "
+                             f"{PROFILE_TOP_N} cumulative functions "
+                             "per topology as JSON")
     args = parser.parse_args(argv)
 
     measured = run_benchmark(args.seed, args.quick)
@@ -132,6 +182,25 @@ def main(argv=None) -> int:
                 "topologies": measured,
             }, handle, indent=1, sort_keys=True)
         print(f"\nwrote {args.out}")
+    if args.profile:
+        profiles = run_profiles(args.seed, args.quick)
+        with open(args.profile, "w") as handle:
+            json.dump({
+                "benchmark": "kernel_hotpath_profile",
+                "quick": args.quick,
+                "seed": args.seed,
+                "top_n": PROFILE_TOP_N,
+                "sort": "cumulative",
+                "topologies": profiles,
+            }, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.profile}")
+        for label, rows in profiles.items():
+            hottest = [r for r in rows
+                       if r["function"] not in ("run", "<module>")][:3]
+            names = ", ".join(
+                f"{r['function']} ({r['cumtime_s']}s)"
+                for r in hottest)
+            print(f"  {label}: {names}")
     return 0
 
 

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Hundred-cell churn sweep under streaming FCT aggregation.
+
+Demonstrates the two PR 4 scale claims end-to-end:
+
+1. **A 200+ cell rate x size x policy x loss x load churn grid runs
+   to completion with ``stream_stats=True``** — every cell's FCT
+   block is the bounded-memory aggregator's, so the sweep's resident
+   FCT state is (live flows + occupied histogram bins) per in-flight
+   cell rather than every record of every cell.
+2. **Peak FCT-record memory is independent of flow count**: the same
+   cell re-run with the run window stretched 8x spawns ~8x the flows
+   but reports the same order of occupied bins and a concurrency-
+   (not total-) bound ``max_live_records``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream_sweep.py \\
+        --out bench-stream-sweep.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from typing import Dict
+
+from repro.core.policies import HackPolicy
+from repro.experiments.batch import SweepRunner, SweepSpec
+from repro.sim.units import MS
+from repro.traffic.arrivals import ArrivalSpec, SizeSpec
+from repro.workloads.scenarios import LossSpec, ScenarioConfig
+
+#: Axes: 3 rates x 3 sizes x 2 policies x 3 losses x 4 loads = 216.
+RATES = (60.0, 90.0, 150.0)
+MEDIAN_BYTES = (20_000, 50_000, 100_000)
+POLICIES = (HackPolicy.VANILLA, HackPolicy.MORE_DATA)
+LOSSES = (0.0, 0.005, 0.02)
+ARRIVALS_PER_S = (20.0, 40.0, 80.0, 160.0)
+
+
+def cell_config(rate: float, median: int, policy: HackPolicy,
+                loss: float, arrivals_per_s: float,
+                duration_ns: int, seed: int = 1) -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=rate, n_clients=2,
+        traffic="dynamic", policy=policy,
+        arrivals=ArrivalSpec(
+            kind="poisson", rate_per_s=arrivals_per_s,
+            size=SizeSpec(kind="lognormal", median_bytes=median,
+                          sigma=1.0)),
+        loss=LossSpec(kind="uniform", data_loss=loss)
+        if loss > 0 else LossSpec(),
+        duration_ns=duration_ns, warmup_ns=duration_ns // 5,
+        stagger_ns=0, seed=seed, stream_stats=True)
+
+
+def build_grid(duration_ns: int) -> SweepSpec:
+    spec = SweepSpec("stream-churn-grid")
+    for rate in RATES:
+        for median in MEDIAN_BYTES:
+            for policy in POLICIES:
+                for loss in LOSSES:
+                    for arrivals in ARRIVALS_PER_S:
+                        spec.add_scenario(
+                            (rate, median, policy.value, loss,
+                             arrivals),
+                            cell_config(rate, median, policy, loss,
+                                        arrivals, duration_ns))
+    return spec
+
+
+def run_grid(duration_ns: int, jobs=None) -> Dict[str, object]:
+    spec = build_grid(duration_ns)
+    runner = SweepRunner(jobs=jobs)
+    started = time.perf_counter()
+    result = runner.run(spec)
+    wall_s = time.perf_counter() - started
+    streams = [r.metrics["fct"]["streaming"] for r in result.records]
+    spawned = [r.metrics["fct"]["flows_spawned"]
+               for r in result.records]
+    return {
+        "cells": len(result.records),
+        "wall_s": round(wall_s, 2),
+        "flows_spawned_total": sum(spawned),
+        "flows_spawned_max_cell": max(spawned),
+        "max_live_records_worst_cell":
+            max(s["max_live_records"] for s in streams),
+        "occupied_bins_worst_cell":
+            max(s["occupied_bins"] for s in streams),
+    }
+
+
+def run_scaling(base_duration_ns: int) -> Dict[str, Dict[str, object]]:
+    """One cell at 1x and 8x window: flows scale, memory must not."""
+    from repro.workloads.scenarios import run_scenario
+
+    out: Dict[str, Dict[str, object]] = {}
+    for label, factor in (("1x", 1), ("8x", 8)):
+        cfg = cell_config(150.0, 20_000, HackPolicy.MORE_DATA, 0.0,
+                          80.0, base_duration_ns * factor)
+        fct = run_scenario(cfg).fct
+        out[label] = {
+            "flows_spawned": fct["flows_spawned"],
+            "flows_completed": fct["flows_completed"],
+            "max_live_records": fct["streaming"]["max_live_records"],
+            "occupied_bins": fct["streaming"]["occupied_bins"],
+        }
+    return out
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="200+ cell churn sweep with streaming FCT stats")
+    parser.add_argument("--duration-ms", type=int, default=400,
+                        help="simulated window per cell (default 400)")
+    parser.add_argument("--jobs", type=int, default=None)
+    parser.add_argument("--out", default=None, metavar="PATH")
+    args = parser.parse_args(argv)
+
+    duration_ns = args.duration_ms * MS
+    grid = run_grid(duration_ns, jobs=args.jobs)
+    print(f"grid: {grid['cells']} cells in {grid['wall_s']}s, "
+          f"{grid['flows_spawned_total']} flows total; worst cell "
+          f"held {grid['max_live_records_worst_cell']} live records "
+          f"/ {grid['occupied_bins_worst_cell']} bins")
+    scaling = run_scaling(duration_ns)
+    for label, m in scaling.items():
+        print(f"scaling {label}: {m['flows_spawned']} flows -> "
+              f"{m['max_live_records']} live records, "
+              f"{m['occupied_bins']} bins")
+    payload = {"benchmark": "stream_sweep",
+               "duration_ms": args.duration_ms,
+               "grid": grid, "scaling": scaling}
+    if args.out:
+        with open(args.out, "w") as handle:
+            json.dump(payload, handle, indent=1, sort_keys=True)
+        print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,131 @@
+#!/usr/bin/env python3
+"""CI perf-regression gate for the event-kernel benchmark.
+
+Compares a fresh ``bench_kernel_hotpath.py --quick --out`` artifact
+against the events-per-wall-second reference committed in
+``BENCH_kernel.json`` (the most recent PR's ``after`` block per
+topology) and exits non-zero when any topology regressed by more than
+the tolerance.
+
+Noisy-container override knobs (documented in EXPERIMENTS.md):
+
+* ``--tolerance 0.40`` / ``BENCH_GATE_TOLERANCE=0.40`` — widen the
+  allowed slowdown (default 0.25, i.e. fail under 75% of reference).
+  The environment variable loses to an explicit flag.
+* ``BENCH_GATE_SKIP=1`` — skip the gate entirely (exit 0, loudly).
+  For containers whose absolute throughput is incomparable to the
+  reference machine; correctness checks still run.
+
+Usage::
+
+    python scripts/check_bench_regression.py \\
+        --fresh bench-kernel.json --reference BENCH_kernel.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from typing import Dict, Optional
+
+DEFAULT_TOLERANCE = 0.25
+
+def reference_events_per_s(reference: Dict,
+                           quick: bool) -> Dict[str, float]:
+    """topology -> committed events/s from the newest 'after' block.
+
+    Blocks are searched newest-first — the PR 4 data-plane block, then
+    the PR 2 top-level block — so ``BENCH_kernel.json`` keeps its full
+    before/after history while the gate always tracks the latest
+    commitment."""
+    mode = "quick" if quick else "full"
+    candidates = [
+        reference.get("pr4_data_plane", {}).get(mode),
+        reference.get(mode),
+    ]
+    for block in candidates:
+        if not block:
+            continue
+        out = {}
+        for topology, entry in block.items():
+            after = entry.get("after")
+            if after and "events_per_s" in after:
+                out[topology] = after["events_per_s"]
+        if out:
+            return out
+    return {}
+
+
+def check(fresh: Dict, reference: Dict,
+          tolerance: float) -> Optional[str]:
+    """None if the gate passes, else a failure description."""
+    expected = reference_events_per_s(reference,
+                                      fresh.get("quick", True))
+    if not expected:
+        return "no usable 'after' events_per_s reference found"
+    failures = []
+    for topology, ref_rate in sorted(expected.items()):
+        measured = fresh.get("topologies", {}).get(topology)
+        if measured is None:
+            failures.append(f"{topology}: missing from fresh run")
+            continue
+        rate = measured["events_per_s"]
+        floor = ref_rate * (1.0 - tolerance)
+        verdict = "ok" if rate >= floor else "REGRESSED"
+        print(f"  {topology:<16} {rate:>9,}/s vs reference "
+              f"{ref_rate:>9,}/s (floor {floor:>11,.0f})  {verdict}")
+        if rate < floor:
+            failures.append(
+                f"{topology}: {rate:,}/s is below "
+                f"{(1.0 - tolerance):.0%} of the committed "
+                f"{ref_rate:,}/s")
+    if failures:
+        return "; ".join(failures)
+    return None
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail CI when kernel events/s regressed vs the "
+                    "committed reference")
+    parser.add_argument("--fresh", required=True,
+                        help="bench_kernel_hotpath.py --out artifact")
+    parser.add_argument("--reference", default="BENCH_kernel.json")
+    parser.add_argument("--tolerance", type=float, default=None,
+                        help="allowed fractional slowdown "
+                             f"(default {DEFAULT_TOLERANCE}; env "
+                             "BENCH_GATE_TOLERANCE)")
+    args = parser.parse_args(argv)
+
+    if os.environ.get("BENCH_GATE_SKIP") == "1":
+        print("BENCH_GATE_SKIP=1: perf-regression gate skipped")
+        return 0
+    tolerance = args.tolerance
+    if tolerance is None:
+        tolerance = float(os.environ.get("BENCH_GATE_TOLERANCE",
+                                         DEFAULT_TOLERANCE))
+    if not 0.0 <= tolerance < 1.0:
+        print(f"error: tolerance {tolerance} outside [0, 1)",
+              file=sys.stderr)
+        return 2
+
+    with open(args.fresh) as handle:
+        fresh = json.load(handle)
+    with open(args.reference) as handle:
+        reference = json.load(handle)
+    print(f"perf gate (tolerance {tolerance:.0%}):")
+    failure = check(fresh, reference, tolerance)
+    if failure:
+        print(f"PERF REGRESSION: {failure}", file=sys.stderr)
+        print("(override for a known-noisy container with "
+              "BENCH_GATE_TOLERANCE=<frac> or BENCH_GATE_SKIP=1)",
+              file=sys.stderr)
+        return 1
+    print("perf gate passed")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

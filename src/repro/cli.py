@@ -78,6 +78,10 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print event-kernel counters (events "
                           "executed/cancelled, heap compactions, "
                           "events per wall-second)")
+    sim.add_argument("--stream-stats", action="store_true",
+                     help="bounded-memory streaming FCT aggregation "
+                          "for churn scenarios (percentiles "
+                          "histogram-quantised at ~2.3%% resolution)")
 
     sub.add_parser("scenarios", help="list registered scenarios")
 
@@ -106,7 +110,8 @@ def _build_parser() -> argparse.ArgumentParser:
 def _simulate(args: argparse.Namespace) -> int:
     if args.scenario is not None:
         try:
-            config = registry.build(args.scenario, seed=args.seed)
+            config = registry.build(args.scenario, seed=args.seed,
+                                    stream_stats=args.stream_stats)
         except UnknownScenarioError as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
@@ -130,7 +135,7 @@ def _simulate(args: argparse.Namespace) -> int:
             rate_adaptation="aarf" if args.aarf else None,
             extra_response_delay_ns=usec(37) if args.sora else 0,
             ack_timeout_extra_ns=usec(60) if args.sora else 0,
-            stagger_ns=50 * MS)
+            stagger_ns=50 * MS, stream_stats=args.stream_stats)
     started = time.perf_counter()
     result = run_scenario(config)
     wall_s = time.perf_counter() - started
@@ -164,8 +169,14 @@ def _simulate(args: argparse.Namespace) -> int:
               f"{fct['flows_censored']} censored")
         if fct["fct_ms"] is not None:
             dist = fct["fct_ms"]
+            streaming = fct.get("streaming")
+            suffix = ""
+            if streaming:
+                suffix = (f"  [streaming, ±"
+                          f"{streaming['relative_resolution']:.1%}]")
             print(f"FCT (ms)          : p50 {dist['p50']:.1f}, "
-                  f"p95 {dist['p95']:.1f}, p99 {dist['p99']:.1f}")
+                  f"p95 {dist['p95']:.1f}, p99 {dist['p99']:.1f}"
+                  f"{suffix}")
         print(f"offered / carried : {fct['offered_load_mbps']:.2f} / "
               f"{fct['carried_load_mbps']:.2f} Mbps")
     if args.kernel_stats:
@@ -244,7 +255,8 @@ def _sweep(args: argparse.Namespace) -> int:
     for name in experiment_names:
         module = experiments_runner.EXPERIMENTS[name]
         started = time.time()
-        result = sweep_runner.run(module.sweep_spec(quick=args.quick))
+        result = sweep_runner.run(experiments_runner.apply_stream_stats(
+            module.sweep_spec(quick=args.quick), args))
         rows = module.rows_from_sweep(result)
         elapsed = time.time() - started
         print(module.format_rows(rows))
@@ -257,7 +269,8 @@ def _sweep(args: argparse.Namespace) -> int:
         seeds = (1,) if args.quick else \
             tuple(range(1, args.seeds + 1))
         started = time.time()
-        result = sweep_runner.run(registry.sweep_spec(name, seeds))
+        result = sweep_runner.run(experiments_runner.apply_stream_stats(
+            registry.sweep_spec(name, seeds), args))
         elapsed = time.time() - started
         _print_scenario_sweep(name, result)
         print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "

@@ -56,6 +56,19 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-simulate, ignore the cache")
+    parser.add_argument("--stream-stats", action="store_true",
+                        help="bounded-memory streaming FCT "
+                             "aggregation per cell (peak FCT-record "
+                             "memory independent of flow count; "
+                             "percentiles histogram-quantised at "
+                             "~2.3%% resolution)")
+
+
+def apply_stream_stats(spec, args: argparse.Namespace):
+    """Honour ``--stream-stats`` on an already-built sweep spec."""
+    if getattr(args, "stream_stats", False):
+        return spec.with_config_overrides(stream_stats=True)
+    return spec
 
 
 def make_runner(args: argparse.Namespace) -> SweepRunner:
@@ -89,7 +102,8 @@ def main(argv=None) -> int:
     for name in names:
         module = EXPERIMENTS[name]
         started = time.time()
-        result = sweep_runner.run(module.sweep_spec(quick=args.quick))
+        result = sweep_runner.run(apply_stream_stats(
+            module.sweep_spec(quick=args.quick), args))
         rows = module.rows_from_sweep(result)
         elapsed = time.time() - started
         print(module.format_rows(rows))

@@ -18,7 +18,7 @@ from typing import Callable, Deque, List
 
 from ..phy.params import PhyParams
 from .blockack import BlockAckOriginator
-from .frames import Mpdu
+from .frames import Mpdu, mpdu_byte_length
 from .params import MacParams, mpdu_subframe_bytes
 
 
@@ -66,9 +66,7 @@ def build_batch(originator: BlockAckOriginator,
             break
         if len(batch) >= params.ampdu_max_mpdus:
             break
-        prospective = Mpdu(src=None, dst=None, seq=originator.next_seq,
-                           payload=payload)
-        sub = mpdu_subframe_bytes(prospective.byte_length)
+        sub = mpdu_subframe_bytes(mpdu_byte_length(payload))
         if total_bytes + sub > params.ampdu_max_bytes:
             break
         if not airtime_ok(sub):

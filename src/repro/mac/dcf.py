@@ -357,7 +357,8 @@ class DcfMac(MediumListener):
         if job.is_batch:
             def make_mpdu(payload: Any, seq: int) -> Mpdu:
                 return Mpdu(src=self.address, dst=dst, seq=seq,
-                            payload=payload, enqueued_at=now)
+                            payload=payload, enqueued_at=now,
+                            frame_id=self.sim.new_frame_id())
 
             batch = build_batch(orig, queue, make_mpdu, self.params,
                                 self.phy, self._rate_for(dst))
@@ -377,7 +378,8 @@ class DcfMac(MediumListener):
                 payload = queue.popleft()
                 mpdu = Mpdu(src=self.address, dst=dst,
                             seq=orig.allocate_seq(), payload=payload,
-                            enqueued_at=now)
+                            enqueued_at=now,
+                            frame_id=self.sim.new_frame_id())
             else:
                 return False
             mpdu.more_data = bool(queue) or bool(orig.retry_queue)
@@ -410,10 +412,10 @@ class DcfMac(MediumListener):
                                                     frame.rate_mbps)
         elif job.is_batch:
             frame = AmpduFrame(mpdus=job.mpdus, rate_mbps=rate)
-            duration = self.phy.frame_duration_ns(frame.byte_length, rate)
+            duration = self.phy.frame_airtime_ns(frame, rate)
         else:
             frame = DataFrame(mpdu=job.mpdus[0], rate_mbps=rate)
-            duration = self.phy.frame_duration_ns(frame.byte_length, rate)
+            duration = self.phy.frame_airtime_ns(frame, rate)
         job.attempts += 1
         if self.stats is not None:
             self.stats.on_tx_start(self.address, job, frame, duration,

@@ -24,14 +24,40 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Tuple
+from functools import lru_cache
+from typing import Any, Tuple
 
 from ..sim.units import usec
 
 
+@lru_cache(maxsize=None)
+def _ofdm_duration(extra_bits: int, num_bytes: int, rate_mbps: float,
+                   preamble_ns: int, symbol_ns: int) -> int:
+    """Memoised OFDM PPDU airtime.
+
+    The ceil-division arithmetic is exact integer work per call, but
+    the data plane asks for the same (bytes, rate) combinations tens
+    of thousands of times per run — frame sizes are drawn from a small
+    set (full MSS segments, 52-byte ACKs, control frames) — so the
+    answer is computed once per distinct shape.  Keyed on every input
+    so different PHY flavours can never alias.
+    """
+    bits = extra_bits + 8 * num_bytes
+    bits_per_symbol = rate_mbps * (symbol_ns / 1_000.0)
+    symbols = math.ceil(bits / bits_per_symbol)
+    return preamble_ns + symbols * symbol_ns
+
+
 @dataclass(frozen=True)
 class PhyParams:
-    """Timing description of one PHY flavour."""
+    """Timing description of one PHY flavour.
+
+    Derived timing constants (DIFS, EIFS, ACK timeout) are computed
+    once in ``__post_init__`` — they are read per contention round and
+    used to be re-derived properties.  The dataclass stays frozen;
+    the cached values are plain (non-field) attributes, invisible to
+    ``asdict``/equality/hashing.
+    """
 
     name: str
     slot_ns: int
@@ -49,16 +75,12 @@ class PhyParams:
     cw_min: int = 15
     cw_max: int = 1023
 
-    @property
-    def difs_ns(self) -> int:
-        """DIFS / AIFS[BE]: SIFS + AIFSN * slot."""
-        return self.sifs_ns + self.aifsn * self.slot_ns
-
-    @property
-    def eifs_ns(self) -> int:
-        """EIFS used after an undecodable frame (SIFS + ACK@lowest + DIFS)."""
+    def __post_init__(self) -> None:
+        difs = self.sifs_ns + self.aifsn * self.slot_ns
+        object.__setattr__(self, "difs_ns", difs)
         ack_time = self.control_duration_ns(14, self.basic_rates[0])
-        return self.sifs_ns + ack_time + self.difs_ns
+        object.__setattr__(self, "eifs_ns",
+                           self.sifs_ns + ack_time + difs)
 
     # ------------------------------------------------------------------
     # Durations
@@ -69,20 +91,24 @@ class PhyParams:
             raise ValueError(
                 f"{rate_mbps} Mbps is not a {self.name} data rate "
                 f"(valid: {self.data_rates})")
-        return self._ofdm_duration(num_bytes, rate_mbps,
-                                   self.preamble_ns, self.symbol_ns)
+        return _ofdm_duration(self.service_bits + self.tail_bits,
+                              num_bytes, rate_mbps,
+                              self.preamble_ns, self.symbol_ns)
 
     def control_duration_ns(self, num_bytes: int, rate_mbps: float) -> int:
         """Airtime of a control frame (legacy OFDM format, 20us preamble)."""
-        return self._ofdm_duration(num_bytes, rate_mbps,
-                                   usec(20), usec(4))
+        return _ofdm_duration(self.service_bits + self.tail_bits,
+                              num_bytes, rate_mbps, usec(20), usec(4))
 
-    def _ofdm_duration(self, num_bytes: int, rate_mbps: float,
-                       preamble_ns: int, symbol_ns: int) -> int:
-        bits = self.service_bits + self.tail_bits + 8 * num_bytes
-        bits_per_symbol = rate_mbps * (symbol_ns / 1_000.0)
-        symbols = math.ceil(bits / bits_per_symbol)
-        return preamble_ns + symbols * symbol_ns
+    def frame_airtime_ns(self, frame: Any, rate_mbps: float) -> int:
+        """Airtime of a data PPDU carrying ``frame``.
+
+        The single entry point Medium/DCF use per transmission: reads
+        the frame's construction-time ``byte_length`` and resolves the
+        duration through the memoised OFDM arithmetic, so repeated
+        transmissions of same-shaped frames cost one dict hit.
+        """
+        return self.frame_duration_ns(frame.byte_length, rate_mbps)
 
     def control_rate_for(self, data_rate_mbps: float) -> float:
         """Highest basic rate not exceeding the data rate (802.11 rule)."""

@@ -13,17 +13,29 @@ deltas are encoded.  Per the paper's TCP/HACK-specific optimisations
 CID collisions (two flows hashing to the same byte) are possible by
 construction; the compressor detects them and simply declines to
 compress the newer flow, which degrades gracefully to vanilla ACKs.
+
+Hot-path notes: CID derivation runs per ACK (the compressor looks its
+context up by CID on every send), so the MD5 is memoised per 5-tuple
+key; :class:`DynamicState` is a ``__slots__`` class because one is
+allocated per encoded/decoded entry, and its CRC input is serialised
+with one ``struct.pack`` call (byte-identical to the historical
+``b"".join`` of five 8-byte big-endian fields).
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
+import struct
+from functools import lru_cache
 from typing import Tuple
 
 from ..tcp.segment import FiveTuple, TcpSegment
 
+_U64 = 2**64 - 1
+_CRC_PACK = struct.Struct(">QQQQQ").pack
 
+
+@lru_cache(maxsize=65_536)
 def cid_for_key(key: Tuple[str, str, int, int]) -> int:
     """CID from a raw 5-tuple key (see :func:`cid_for_flow`)."""
     text = "tcp|%s|%s|%d|%d" % key
@@ -36,68 +48,96 @@ def cid_for_flow(five_tuple: FiveTuple) -> int:
     return cid_for_key(five_tuple.key())
 
 
-@dataclass
 class DynamicState:
     """Reference values for delta encoding (shared shape at both ends)."""
 
-    ack: int = 0
-    ack_delta: int = 0   # previous inter-ACK stride (delta-of-delta ref)
-    ts_val: int = 0
-    ts_ecr: int = 0
-    rwnd: int = 0
-    seq: int = 0
+    __slots__ = ("ack", "ack_delta", "ts_val", "ts_ecr", "rwnd", "seq")
+
+    def __init__(self, ack: int = 0, ack_delta: int = 0,
+                 ts_val: int = 0, ts_ecr: int = 0, rwnd: int = 0,
+                 seq: int = 0):
+        self.ack = ack
+        #: Previous inter-ACK stride (delta-of-delta reference).
+        self.ack_delta = ack_delta
+        self.ts_val = ts_val
+        self.ts_ecr = ts_ecr
+        self.rwnd = rwnd
+        self.seq = seq
 
     def crc_input(self) -> bytes:
         """Canonical serialisation of the reconstructed dynamic header
         fields, over which the per-packet CRC-3 is computed."""
-        return b"".join(v.to_bytes(8, "big", signed=False) for v in (
-            self.ack & (2**64 - 1), self.ts_val & (2**64 - 1),
-            self.ts_ecr & (2**64 - 1), self.rwnd & (2**64 - 1),
-            self.seq & (2**64 - 1)))
+        return _CRC_PACK(self.ack & _U64, self.ts_val & _U64,
+                         self.ts_ecr & _U64, self.rwnd & _U64,
+                         self.seq & _U64)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"DynamicState(ack={self.ack}, "
+                f"ack_delta={self.ack_delta}, ts_val={self.ts_val}, "
+                f"ts_ecr={self.ts_ecr}, rwnd={self.rwnd}, "
+                f"seq={self.seq})")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, DynamicState) and (
+            self.ack == other.ack
+            and self.ack_delta == other.ack_delta
+            and self.ts_val == other.ts_val
+            and self.ts_ecr == other.ts_ecr
+            and self.rwnd == other.rwnd
+            and self.seq == other.seq)
 
 
-@dataclass
 class CompressorContext:
     """Transmit-side per-flow state."""
 
-    cid: int
-    five_tuple: FiveTuple
-    flow_id: int
-    src: str
-    dst: str
-    state: DynamicState = field(default_factory=DynamicState)
-    #: Vanilla ACKs observed so far (context considered established
-    #: after ``init_threshold`` of them have been sent normally).
-    vanilla_seen: int = 0
-    #: Set when delta references may not match the decompressor (after
-    #: an unconfirmed flush, or after vanilla ACKs advanced the state):
-    #: forces the next compressed ACK to carry absolute values.
-    rebase_needed: bool = True
+    __slots__ = ("cid", "five_tuple", "flow_id", "src", "dst", "state",
+                 "vanilla_seen", "rebase_needed")
+
+    def __init__(self, cid: int, five_tuple: FiveTuple, flow_id: int,
+                 src: str, dst: str):
+        self.cid = cid
+        self.five_tuple = five_tuple
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.state = DynamicState()
+        #: Vanilla ACKs observed so far (context considered established
+        #: after ``init_threshold`` of them have been sent normally).
+        self.vanilla_seen = 0
+        #: Set when delta references may not match the decompressor
+        #: (after an unconfirmed flush, or after vanilla ACKs advanced
+        #: the state): forces the next compressed ACK to be absolute.
+        self.rebase_needed = True
 
     def note_vanilla(self, segment: TcpSegment) -> None:
         self.vanilla_seen += 1
-        self.state.ack = segment.ack
-        self.state.ack_delta = 0
-        self.state.ts_val = segment.ts_val
-        self.state.ts_ecr = segment.ts_ecr
-        self.state.rwnd = segment.rwnd
-        self.state.seq = segment.seq
+        state = self.state
+        state.ack = segment.ack
+        state.ack_delta = 0
+        state.ts_val = segment.ts_val
+        state.ts_ecr = segment.ts_ecr
+        state.rwnd = segment.rwnd
+        state.seq = segment.seq
         self.rebase_needed = True
 
 
-@dataclass
 class DecompressorContext:
     """Receive-side per-CID state."""
 
-    cid: int
-    five_tuple: FiveTuple
-    flow_id: int
-    src: str
-    dst: str
-    state: DynamicState = field(default_factory=DynamicState)
-    #: Set after a CRC failure: deltas are untrusted until an absolute
-    #: (rebase) entry repairs the context.
-    damaged: bool = False
+    __slots__ = ("cid", "five_tuple", "flow_id", "src", "dst", "state",
+                 "damaged")
+
+    def __init__(self, cid: int, five_tuple: FiveTuple, flow_id: int,
+                 src: str, dst: str):
+        self.cid = cid
+        self.five_tuple = five_tuple
+        self.flow_id = flow_id
+        self.src = src
+        self.dst = dst
+        self.state = DynamicState()
+        #: Set after a CRC failure: deltas are untrusted until an
+        #: absolute (rebase) entry repairs the context.
+        self.damaged = False
 
     def note_vanilla(self, segment: TcpSegment) -> None:
         # Monotone guard: link-layer retries can reorder vanilla ACKs
@@ -105,15 +145,15 @@ class DecompressorContext:
         # the reference state the compressor has already moved past.
         # Duplicate ACKs share the cumulative ACK number, so the tie
         # is broken by the (monotone per-host) timestamp.
-        if (segment.ack, segment.ts_val) < (self.state.ack,
-                                            self.state.ts_val):
+        state = self.state
+        if (segment.ack, segment.ts_val) < (state.ack, state.ts_val):
             return
-        self.state.ack = segment.ack
-        self.state.ack_delta = 0
-        self.state.ts_val = segment.ts_val
-        self.state.ts_ecr = segment.ts_ecr
-        self.state.rwnd = segment.rwnd
-        self.state.seq = segment.seq
+        state.ack = segment.ack
+        state.ack_delta = 0
+        state.ts_val = segment.ts_val
+        state.ts_ecr = segment.ts_ecr
+        state.rwnd = segment.rwnd
+        state.seq = segment.seq
         self.damaged = False
 
 

@@ -5,9 +5,20 @@ detect decompressor context damage.  TCP/HACK uses the 3-bit CRC in
 each compressed ACK's control byte (it is what lets the paper claim
 "no decompression CRC failures" under loss); the 7/8-bit variants are
 provided for completeness and used in tests.
+
+The public functions are **table-driven** (one 256-entry table per
+width, folded bytewise): CRC-3 runs once per compressed ACK on both
+ends of the link, and the historical bit-by-bit fold was the single
+hottest function in the HACK data plane (~18% of a 4-client cell's
+wall time).  For a reflected CRC of width <= 8 the bytewise recurrence
+collapses to ``crc = table[crc ^ byte]``, which is bit-identical to
+the bitwise fold — ``_crc_bitwise`` is retained as the executable
+reference the equivalence tests check the tables against.
 """
 
 from __future__ import annotations
+
+from typing import List
 
 #: Polynomials from RFC 5795: C(x) listed LSB-first as used there.
 CRC3_POLY = 0x6   # x^3 + x + 1
@@ -19,7 +30,9 @@ def _crc_bitwise(data: bytes, width: int, poly: int, init: int) -> int:
     """Reflected (LSB-first) CRC as specified for ROHC.
 
     Every input bit is folded in LSB-first; ``poly`` is the
-    bit-reversed generator polynomial."""
+    bit-reversed generator polynomial.  Reference implementation — the
+    tables below must (and are tested to) agree with it exactly.
+    """
     crc = init
     mask = (1 << width) - 1
     for byte in data:
@@ -32,16 +45,46 @@ def _crc_bitwise(data: bytes, width: int, poly: int, init: int) -> int:
     return crc & mask
 
 
+def _make_table(width: int, poly: int) -> List[int]:
+    """256-entry bytewise table: entry b is the CRC state after folding
+    byte ``b`` into a zero state (for width <= 8 the previous state is
+    XORed into the index)."""
+    table = []
+    for byte in range(256):
+        crc = byte
+        for _ in range(8):
+            crc = (crc >> 1) ^ poly if crc & 1 else crc >> 1
+        table.append(crc & ((1 << width) - 1))
+    return table
+
+
+_CRC3_TABLE = _make_table(3, CRC3_POLY)
+_CRC7_TABLE = _make_table(7, CRC7_POLY)
+_CRC8_TABLE = _make_table(8, CRC8_POLY)
+
+
 def crc3(data: bytes) -> int:
     """ROHC CRC-3 (returns 0..7)."""
-    return _crc_bitwise(data, 3, CRC3_POLY, 0x7)
+    crc = 0x7
+    table = _CRC3_TABLE
+    for byte in data:
+        crc = table[crc ^ byte]
+    return crc
 
 
 def crc7(data: bytes) -> int:
     """ROHC CRC-7 (returns 0..127)."""
-    return _crc_bitwise(data, 7, CRC7_POLY, 0x7F)
+    crc = 0x7F
+    table = _CRC7_TABLE
+    for byte in data:
+        crc = table[crc ^ byte]
+    return crc
 
 
 def crc8(data: bytes) -> int:
     """ROHC CRC-8 (returns 0..255)."""
-    return _crc_bitwise(data, 8, CRC8_POLY, 0xFF)
+    crc = 0xFF
+    table = _CRC8_TABLE
+    for byte in data:
+        crc = table[crc ^ byte]
+    return crc

@@ -43,7 +43,6 @@ the paper's "about 4 bytes, or even 3" (§3.3.2).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .context import DynamicState
@@ -62,16 +61,19 @@ def unzigzag(z: int) -> int:
     return (z >> 1) if z % 2 == 0 else -((z + 1) >> 1)
 
 
-@dataclass
 class CompressedAck:
     """One compressed ACK, serialised once at compression time."""
 
-    msn: int
-    cid: int
-    data: bytes
-    #: The original segment (kept so vanilla fallback can resend it).
-    segment: object = None
-    sent_once: bool = False
+    __slots__ = ("msn", "cid", "data", "segment", "sent_once")
+
+    def __init__(self, msn: int, cid: int, data: bytes,
+                 segment: object = None, sent_once: bool = False):
+        self.msn = msn
+        self.cid = cid
+        self.data = data
+        #: The original segment (kept so vanilla fallback can resend it).
+        self.segment = segment
+        self.sent_once = sent_once
 
 
 class EncodingError(ValueError):
@@ -110,83 +112,101 @@ def encode_entry(state: DynamicState, segment, cid: int, same_cid: bool,
         rwnd=segment.rwnd, seq=segment.seq)
     crc = crc3(new_state.crc_input())
 
-    sack = tuple(segment.sack_blocks)
-    body = bytearray()
+    # The entry is assembled into one bytearray: two header bytes are
+    # reserved up front and patched once the modes are known, avoiding
+    # the historical body-then-concatenate copy per ACK.
+    sack = segment.sack_blocks
+    out = bytearray(2)
+    if not same_cid:
+        out.append(cid & 0xFF)
     if absolute:
         ack_mode, ts_mode = ACK_ABSOLUTE, TS_ABSOLUTE
         wnd_present = False
-        body += segment.ack.to_bytes(4, "big")
-        body += segment.seq.to_bytes(4, "big")
-        body += segment.rwnd.to_bytes(4, "big")
-        body += segment.ts_val.to_bytes(4, "big")
-        body += segment.ts_ecr.to_bytes(4, "big")
+        out += segment.ack.to_bytes(4, "big")
+        out += segment.seq.to_bytes(4, "big")
+        out += segment.rwnd.to_bytes(4, "big")
+        out += segment.ts_val.to_bytes(4, "big")
+        out += segment.ts_ecr.to_bytes(4, "big")
     else:
         if d_ack == state.ack_delta:
             ack_mode = ACK_STRIDE
+            new_state.ack_delta = state.ack_delta
         elif d_ack <= 0xFF:
             ack_mode = ACK_D8
-            body += d_ack.to_bytes(1, "big")
-        else:
-            ack_mode = ACK_D16
-            body += d_ack.to_bytes(2, "big")
-        if ack_mode != ACK_STRIDE:
+            out.append(d_ack)
             new_state.ack_delta = d_ack
         else:
-            new_state.ack_delta = state.ack_delta
+            ack_mode = ACK_D16
+            out.append(d_ack >> 8)
+            out.append(d_ack & 0xFF)
+            new_state.ack_delta = d_ack
         if d_tv == 0 and d_te == 0:
             ts_mode = TS_UNCHANGED
-        elif zigzag(d_tv) <= 0xFF and zigzag(d_te) <= 0xFF:
-            ts_mode = TS_D8
-            body += bytes([zigzag(d_tv), zigzag(d_te)])
         else:
-            ts_mode = TS_D16
-            body += zigzag(d_tv).to_bytes(2, "big")
-            body += zigzag(d_te).to_bytes(2, "big")
+            z_tv, z_te = zigzag(d_tv), zigzag(d_te)
+            if z_tv <= 0xFF and z_te <= 0xFF:
+                ts_mode = TS_D8
+                out.append(z_tv)
+                out.append(z_te)
+            else:
+                ts_mode = TS_D16
+                out += z_tv.to_bytes(2, "big")
+                out += z_te.to_bytes(2, "big")
         wnd_present = d_wnd != 0
         if wnd_present:
-            body += zigzag(d_wnd).to_bytes(2, "big")
+            out += zigzag(d_wnd).to_bytes(2, "big")
 
     if sack:
-        body += bytes([len(sack)])
+        out.append(len(sack))
         for start, end in sack:
-            body += start.to_bytes(4, "big") + end.to_bytes(4, "big")
+            out += start.to_bytes(4, "big")
+            out += end.to_bytes(4, "big")
 
-    ctrl = (ack_mode << 6) | (ts_mode << 4) | \
+    out[0] = (ack_mode << 6) | (ts_mode << 4) | \
         ((1 if same_cid else 0) << 3) | crc
-    byte1 = ((msn & 0xF) << 4) | ((1 if wnd_present else 0) << 3) | \
+    out[1] = ((msn & 0xF) << 4) | ((1 if wnd_present else 0) << 3) | \
         ((1 if sack else 0) << 2)
-    out = bytearray([ctrl, byte1])
-    if not same_cid:
-        out.append(cid & 0xFF)
-    out += body
     return bytes(out), new_state
 
 
 # ----------------------------------------------------------------------
 # Decoding
 # ----------------------------------------------------------------------
-@dataclass
 class DecodedEntry:
     """Parsed wire entry, not yet applied to a context."""
 
-    ack_mode: int
-    ts_mode: int
-    same_cid: bool
-    crc: int
-    msn_nibble: int
-    wnd_present: bool
-    cid: Optional[int]
-    d_ack: int = 0
-    abs_ack: int = 0
-    abs_seq: int = 0
-    abs_wnd: int = 0
-    abs_ts_val: int = 0
-    abs_ts_ecr: int = 0
-    d_tv: int = 0
-    d_te: int = 0
-    d_wnd: int = 0
-    sack_blocks: Tuple[Tuple[int, int], ...] = ()
-    size: int = 0
+    __slots__ = ("ack_mode", "ts_mode", "same_cid", "crc",
+                 "msn_nibble", "wnd_present", "cid", "d_ack",
+                 "abs_ack", "abs_seq", "abs_wnd", "abs_ts_val",
+                 "abs_ts_ecr", "d_tv", "d_te", "d_wnd", "sack_blocks",
+                 "size")
+
+    def __init__(self, ack_mode: int, ts_mode: int, same_cid: bool,
+                 crc: int, msn_nibble: int, wnd_present: bool,
+                 cid: Optional[int], d_ack: int = 0, abs_ack: int = 0,
+                 abs_seq: int = 0, abs_wnd: int = 0,
+                 abs_ts_val: int = 0, abs_ts_ecr: int = 0,
+                 d_tv: int = 0, d_te: int = 0, d_wnd: int = 0,
+                 sack_blocks: Tuple[Tuple[int, int], ...] = (),
+                 size: int = 0):
+        self.ack_mode = ack_mode
+        self.ts_mode = ts_mode
+        self.same_cid = same_cid
+        self.crc = crc
+        self.msn_nibble = msn_nibble
+        self.wnd_present = wnd_present
+        self.cid = cid
+        self.d_ack = d_ack
+        self.abs_ack = abs_ack
+        self.abs_seq = abs_seq
+        self.abs_wnd = abs_wnd
+        self.abs_ts_val = abs_ts_val
+        self.abs_ts_ecr = abs_ts_ecr
+        self.d_tv = d_tv
+        self.d_te = d_te
+        self.d_wnd = d_wnd
+        self.sack_blocks = sack_blocks
+        self.size = size
 
 
 class ParseError(ValueError):
@@ -195,6 +215,7 @@ class ParseError(ValueError):
 
 def parse_entry(data: bytes, offset: int) -> DecodedEntry:
     """Parse one entry starting at ``offset`` (structure only)."""
+    end = len(data)
     try:
         ctrl = data[offset]
         byte1 = data[offset + 1]
@@ -208,44 +229,65 @@ def parse_entry(data: bytes, offset: int) -> DecodedEntry:
         wnd_present=bool(byte1 & 0x08), cid=None)
     sack_present = bool(byte1 & 0x04)
 
-    def take(n: int) -> bytes:
-        nonlocal pos
-        if pos + n > len(data):
-            raise ParseError("truncated entry body")
-        chunk = data[pos:pos + n]
-        pos += n
-        return chunk
-
     if not entry.same_cid:
-        entry.cid = take(1)[0]
+        if pos + 1 > end:
+            raise ParseError("truncated entry body")
+        entry.cid = data[pos]
+        pos += 1
     if entry.ack_mode == ACK_ABSOLUTE:
-        entry.abs_ack = int.from_bytes(take(4), "big")
-        entry.abs_seq = int.from_bytes(take(4), "big")
-        entry.abs_wnd = int.from_bytes(take(4), "big")
-        entry.abs_ts_val = int.from_bytes(take(4), "big")
-        entry.abs_ts_ecr = int.from_bytes(take(4), "big")
+        if pos + 20 > end:
+            raise ParseError("truncated entry body")
+        entry.abs_ack = int.from_bytes(data[pos:pos + 4], "big")
+        entry.abs_seq = int.from_bytes(data[pos + 4:pos + 8], "big")
+        entry.abs_wnd = int.from_bytes(data[pos + 8:pos + 12], "big")
+        entry.abs_ts_val = int.from_bytes(data[pos + 12:pos + 16],
+                                          "big")
+        entry.abs_ts_ecr = int.from_bytes(data[pos + 16:pos + 20],
+                                          "big")
+        pos += 20
     else:
         if entry.ack_mode == ACK_D8:
-            entry.d_ack = take(1)[0]
+            if pos + 1 > end:
+                raise ParseError("truncated entry body")
+            entry.d_ack = data[pos]
+            pos += 1
         elif entry.ack_mode == ACK_D16:
-            entry.d_ack = int.from_bytes(take(2), "big")
+            if pos + 2 > end:
+                raise ParseError("truncated entry body")
+            entry.d_ack = (data[pos] << 8) | data[pos + 1]
+            pos += 2
         if entry.ts_mode == TS_D8:
-            entry.d_tv = unzigzag(take(1)[0])
-            entry.d_te = unzigzag(take(1)[0])
+            if pos + 2 > end:
+                raise ParseError("truncated entry body")
+            entry.d_tv = unzigzag(data[pos])
+            entry.d_te = unzigzag(data[pos + 1])
+            pos += 2
         elif entry.ts_mode == TS_D16:
-            entry.d_tv = unzigzag(int.from_bytes(take(2), "big"))
-            entry.d_te = unzigzag(int.from_bytes(take(2), "big"))
+            if pos + 4 > end:
+                raise ParseError("truncated entry body")
+            entry.d_tv = unzigzag((data[pos] << 8) | data[pos + 1])
+            entry.d_te = unzigzag((data[pos + 2] << 8) | data[pos + 3])
+            pos += 4
         elif entry.ts_mode == TS_ABSOLUTE:
             raise ParseError("absolute timestamps require ack_mode 3")
         if entry.wnd_present:
-            entry.d_wnd = unzigzag(int.from_bytes(take(2), "big"))
+            if pos + 2 > end:
+                raise ParseError("truncated entry body")
+            entry.d_wnd = unzigzag((data[pos] << 8) | data[pos + 1])
+            pos += 2
     if sack_present:
-        count = take(1)[0]
+        if pos + 1 > end:
+            raise ParseError("truncated entry body")
+        count = data[pos]
+        pos += 1
+        if pos + 8 * count > end:
+            raise ParseError("truncated entry body")
         blocks: List[Tuple[int, int]] = []
         for _ in range(count):
-            start = int.from_bytes(take(4), "big")
-            end = int.from_bytes(take(4), "big")
-            blocks.append((start, end))
+            blocks.append((int.from_bytes(data[pos:pos + 4], "big"),
+                           int.from_bytes(data[pos + 4:pos + 8],
+                                          "big")))
+            pos += 8
         entry.sack_blocks = tuple(blocks)
     entry.size = pos - offset
     return entry

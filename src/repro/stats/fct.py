@@ -17,10 +17,27 @@ feeds and :meth:`ScenarioResult.metrics_dict` surfaces:
 
 Everything here is plain data so sweep records stay JSON-serialisable
 and bit-identical across serial, parallel and cache-restored execution.
+
+Two collection modes share one interface (``open`` / ``close`` /
+``summary``):
+
+* :class:`FctCollector` — the default *exact* mode: every record is
+  kept, percentiles are exact linear-interpolation order statistics,
+  and the summary carries the full per-flow list.  Memory is O(flows).
+* :class:`FctAggregator` — the *streaming* mode behind
+  ``ScenarioConfig.stream_stats``: completed flows are folded into
+  log-spaced histograms and forgotten, so memory is O(live flows +
+  occupied bins) — independent of how many flows the run spawns.
+  Percentiles come from the histogram at a documented resolution
+  (:data:`FctAggregator.BINS_PER_DECADE` bins per decade; every
+  reported percentile is within one bin — a factor of
+  ``10 ** (1 / BINS_PER_DECADE)``, about 2.3% — of the exact order
+  statistic).  Counts, means, min/max and load accounting stay exact.
 """
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
@@ -123,6 +140,13 @@ class FctCollector:
         self.records.append(record)
         return record
 
+    def close(self, record: FctRecord) -> None:
+        """A flow finished (or was censored at run end).
+
+        Exact mode keeps every record, so there is nothing to fold;
+        the hook exists so the :class:`FctAggregator` can share the
+        :class:`~repro.traffic.manager.FlowManager` call sequence."""
+
     # -- views ---------------------------------------------------------
     @property
     def spawned(self) -> int:
@@ -170,3 +194,207 @@ class FctCollector:
         if include_flows:
             summary["flows"] = [r.as_dict() for r in self.records]
         return summary
+
+
+class _StreamBin:
+    """Online accumulator for one population (overall or a size bin)."""
+
+    __slots__ = ("count", "total", "minimum", "maximum", "histogram")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0.0
+        self.minimum = math.inf
+        self.maximum = -math.inf
+        #: log-bin index -> completed-flow count (sparse).
+        self.histogram: Dict[int, int] = {}
+
+    def add(self, fct_ms: float, bin_index: int) -> None:
+        self.count += 1
+        self.total += fct_ms
+        if fct_ms < self.minimum:
+            self.minimum = fct_ms
+        if fct_ms > self.maximum:
+            self.maximum = fct_ms
+        self.histogram[bin_index] = \
+            self.histogram.get(bin_index, 0) + 1
+
+
+class FctAggregator:
+    """Online, bounded-memory FCT statistics (``stream_stats=True``).
+
+    Interface-compatible with :class:`FctCollector` (``open`` /
+    ``close`` / ``summary``) but nothing is retained per flow once it
+    closes: completed FCTs are folded into log-spaced histograms
+    (:data:`BINS_PER_DECADE` bins per decade of milliseconds) and the
+    record object is dropped.  Peak memory is therefore
+
+        O(concurrently live flows + occupied histogram bins)
+
+    — independent of the total number of flows a run spawns, which is
+    what lets million-flow churn cells run inside hundred-cell sweeps.
+
+    **Percentile resolution** (documented contract, tested in
+    ``tests/stats/test_fct_stream.py``): a reported percentile is the
+    log-midpoint of the histogram bin holding the corresponding order
+    statistic (rank interpolation matching :func:`percentile`), so it
+    is within one bin — a multiplicative factor of
+    ``10 ** (1 / BINS_PER_DECADE)`` ≈ 2.33% — of the exact value.
+    Counts, mean, min/max, offered/carried load and size-bin tallies
+    are exact; only percentiles are quantised.
+    """
+
+    #: Histogram resolution: 100 log-bins per decade of milliseconds
+    #: (bin edges at 10**(i/100) ms), i.e. ~2.33% relative bin width.
+    BINS_PER_DECADE = 100
+
+    #: FCTs at or below this floor (ms) all land in the lowest bin;
+    #: simulated flows take at least microseconds so this is never hit
+    #: in practice, but it keeps ``log10`` total.
+    MIN_FCT_MS = 1e-6
+
+    def __init__(self) -> None:
+        self.spawned = 0
+        self.offered_bytes = 0
+        self.carried_bytes = 0
+        self.overall = _StreamBin()
+        self.by_size: Dict[str, _StreamBin] = {}
+        #: Live (open, not yet closed) records — bounded by flow
+        #: concurrency, not by total flow count.
+        self.live_open = 0
+        self.max_live = 0
+
+    # -- recording -----------------------------------------------------
+    def open(self, flow_id: int, client: str, direction: str,
+             size_bytes: int, now: int) -> FctRecord:
+        self.spawned += 1
+        self.offered_bytes += size_bytes
+        self.live_open += 1
+        if self.live_open > self.max_live:
+            self.max_live = self.live_open
+        return FctRecord(flow_id=flow_id, client=client,
+                         direction=direction, size_bytes=size_bytes,
+                         start_ns=now)
+
+    def close(self, record: FctRecord) -> None:
+        """Fold one finished (or censored) flow and forget it."""
+        self.live_open -= 1
+        if not record.completed:
+            # Censored flows only contribute their partial delivery;
+            # ``flows_censored`` is derived as spawned - completed in
+            # :meth:`summary` (matching exact mode, which also counts
+            # still-open flows as censored mid-run).
+            self.carried_bytes += record.bytes_delivered
+            return
+        self.carried_bytes += record.size_bytes
+        fct_ms = record.fct_ns / MS
+        index = self._bin_index(fct_ms)
+        self.overall.add(fct_ms, index)
+        label = size_bin_label(record.size_bytes)
+        per_size = self.by_size.get(label)
+        if per_size is None:
+            per_size = self.by_size[label] = _StreamBin()
+        per_size.add(fct_ms, index)
+
+    @classmethod
+    def _bin_index(cls, fct_ms: float) -> int:
+        return math.floor(
+            math.log10(max(fct_ms, cls.MIN_FCT_MS))
+            * cls.BINS_PER_DECADE)
+
+    @classmethod
+    def _bin_value(cls, index: int) -> float:
+        """Representative FCT of one bin: its log-midpoint."""
+        return 10.0 ** ((index + 0.5) / cls.BINS_PER_DECADE)
+
+    # -- views ---------------------------------------------------------
+    @property
+    def completed_count(self) -> int:
+        return self.overall.count
+
+    def occupied_bins(self) -> int:
+        """Histogram cells in use (the non-live part of peak memory)."""
+        return (len(self.overall.histogram)
+                + sum(len(b.histogram)
+                      for b in self.by_size.values()))
+
+    @classmethod
+    def _histogram_percentile(cls, histogram: Dict[int, int],
+                              count: int, fraction: float) -> float:
+        """Rank-interpolated percentile over a sparse log histogram.
+
+        Mirrors :func:`percentile`: the target position is
+        ``fraction * (count - 1)``; the values at its floor and
+        ceiling ranks are approximated by their bins' log-midpoints
+        and linearly interpolated."""
+        position = fraction * (count - 1)
+        lower_rank = int(position)
+        weight = position - lower_rank
+        lower_value: Optional[float] = None
+        upper_value: Optional[float] = None
+        seen = 0
+        for index in sorted(histogram):
+            seen += histogram[index]
+            if lower_value is None and seen > lower_rank:
+                lower_value = cls._bin_value(index)
+            if seen > lower_rank + (1 if weight > 0 else 0):
+                upper_value = cls._bin_value(index)
+                break
+        assert lower_value is not None
+        if upper_value is None or weight == 0:
+            return lower_value
+        return lower_value * (1.0 - weight) + upper_value * weight
+
+    @classmethod
+    def _stream_distribution(cls, bin_: _StreamBin) -> Dict[str, float]:
+        def pct(fraction: float) -> float:
+            value = cls._histogram_percentile(
+                bin_.histogram, bin_.count, fraction)
+            # Min/max are exact; clamping the quantised percentile
+            # into their range keeps one summary self-consistent
+            # (never p99 > max) and only ever reduces the error.
+            return min(max(value, bin_.minimum), bin_.maximum)
+
+        return {
+            "p50": pct(0.50),
+            "p95": pct(0.95),
+            "p99": pct(0.99),
+            "mean": bin_.total / bin_.count,
+            "min": bin_.minimum,
+            "max": bin_.maximum,
+        }
+
+    def summary(self, duration_ns: int,
+                include_flows: bool = True) -> Dict[str, Any]:
+        """Same schema as :meth:`FctCollector.summary`, except the
+        per-flow ``"flows"`` list is never included (there is nothing
+        to list — that is the point) and a ``"streaming"`` block
+        documents the percentile resolution."""
+        done = self.overall.count
+        by_size: Dict[str, Dict[str, Any]] = {}
+        for _, label in SIZE_BINS:
+            bin_ = self.by_size.get(label)
+            if bin_ is not None and bin_.count:
+                by_size[label] = dict(
+                    self._stream_distribution(bin_), flows=bin_.count)
+        return {
+            "flows_spawned": self.spawned,
+            "flows_completed": done,
+            "flows_censored": self.spawned - done,
+            "fct_ms": self._stream_distribution(self.overall)
+            if done else None,
+            "fct_by_size_ms": by_size,
+            "offered_load_mbps":
+                self.offered_bytes * 8 * 1_000.0 / duration_ns
+                if duration_ns > 0 else 0.0,
+            "carried_load_mbps":
+                self.carried_bytes * 8 * 1_000.0 / duration_ns
+                if duration_ns > 0 else 0.0,
+            "streaming": {
+                "bins_per_decade": self.BINS_PER_DECADE,
+                "relative_resolution":
+                    10.0 ** (1.0 / self.BINS_PER_DECADE) - 1.0,
+                "occupied_bins": self.occupied_bins(),
+                "max_live_records": self.max_live,
+            },
+        }

@@ -10,12 +10,19 @@ header bytes per ACK that Table 2's byte counts imply (9060 ACKs =
 Timestamps are in **milliseconds** of simulation time, matching common
 OS tick granularity; this is what makes consecutive ACKs' timestamp
 deltas tiny and ROHC-compressible.
+
+These classes are created once per simulated packet — the hottest
+allocation site in the whole simulator — so they are ``__slots__``
+classes with geometry (``header_bytes`` / ``byte_length``) computed
+once at construction.  Segments are immutable by convention: no layer
+rewrites a field after a segment is built (senders and receivers
+always construct fresh segments), so the cached lengths cannot go
+stale.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Tuple
+from typing import Optional, Tuple
 
 IP_HEADER_BYTES = 20
 TCP_HEADER_BYTES = 20
@@ -24,52 +31,80 @@ TIMESTAMP_OPTION_BYTES = 12
 SACK_BLOCK_BYTES = 8
 SACK_BASE_BYTES = 4
 
+_PLAIN_HEADER = IP_HEADER_BYTES + TCP_HEADER_BYTES + \
+    TIMESTAMP_OPTION_BYTES
 
-@dataclass
+
 class FiveTuple:
     """Connection identity (protocol implied TCP)."""
 
-    src_ip: str
-    dst_ip: str
-    src_port: int
-    dst_port: int
+    __slots__ = ("src_ip", "dst_ip", "src_port", "dst_port", "_key")
+
+    def __init__(self, src_ip: str, dst_ip: str, src_port: int,
+                 dst_port: int):
+        self.src_ip = src_ip
+        self.dst_ip = dst_ip
+        self.src_port = src_port
+        self.dst_port = dst_port
+        #: Identity tuple, built once (``key()`` is called per-ACK on
+        #: the ROHC path).
+        self._key = (src_ip, dst_ip, src_port, dst_port)
 
     def key(self) -> Tuple[str, str, int, int]:
-        return (self.src_ip, self.dst_ip, self.src_port, self.dst_port)
+        return self._key
 
     def reversed(self) -> "FiveTuple":
         return FiveTuple(self.dst_ip, self.src_ip,
                          self.dst_port, self.src_port)
 
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FiveTuple) and self._key == other._key
 
-@dataclass
+    def __hash__(self) -> int:
+        return hash(self._key)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"FiveTuple({self.src_ip!r}, {self.dst_ip!r}, "
+                f"{self.src_port}, {self.dst_port})")
+
+
+_DEFAULT_TUPLE = FiveTuple("0.0.0.0", "0.0.0.0", 0, 0)
+
+
 class TcpSegment:
     """One TCP/IP packet (data or ACK)."""
 
-    flow_id: int
-    src: str              # node name (wifi/wired routing)
-    dst: str
-    seq: int              # first payload byte's stream offset
-    payload_bytes: int
-    ack: int              # cumulative ACK number
-    rwnd: int             # advertised receive window (bytes)
-    ts_val: int = 0       # sender's timestamp (ms)
-    ts_ecr: int = 0       # echoed timestamp (ms)
-    sack_blocks: Tuple[Tuple[int, int], ...] = ()
-    five_tuple: FiveTuple = field(
-        default_factory=lambda: FiveTuple("0.0.0.0", "0.0.0.0", 0, 0))
+    __slots__ = ("flow_id", "src", "dst", "seq", "payload_bytes",
+                 "ack", "rwnd", "ts_val", "ts_ecr", "sack_blocks",
+                 "five_tuple", "header_bytes", "byte_length",
+                 "_hack_init_ordinal")
 
-    @property
-    def header_bytes(self) -> int:
-        options = TIMESTAMP_OPTION_BYTES
-        if self.sack_blocks:
-            options += SACK_BASE_BYTES + \
-                SACK_BLOCK_BYTES * len(self.sack_blocks)
-        return IP_HEADER_BYTES + TCP_HEADER_BYTES + options
-
-    @property
-    def byte_length(self) -> int:
-        return self.header_bytes + self.payload_bytes
+    def __init__(self, flow_id: int, src: str, dst: str, seq: int,
+                 payload_bytes: int, ack: int, rwnd: int,
+                 ts_val: int = 0, ts_ecr: int = 0,
+                 sack_blocks: Tuple[Tuple[int, int], ...] = (),
+                 five_tuple: Optional[FiveTuple] = None):
+        self.flow_id = flow_id
+        self.src = src                  # node name (wifi/wired routing)
+        self.dst = dst
+        self.seq = seq                  # first payload byte's offset
+        self.payload_bytes = payload_bytes
+        self.ack = ack                  # cumulative ACK number
+        self.rwnd = rwnd                # advertised window (bytes)
+        self.ts_val = ts_val            # sender's timestamp (ms)
+        self.ts_ecr = ts_ecr            # echoed timestamp (ms)
+        self.sack_blocks = sack_blocks
+        self.five_tuple = _DEFAULT_TUPLE if five_tuple is None \
+            else five_tuple
+        header = _PLAIN_HEADER
+        if sack_blocks:
+            header += SACK_BASE_BYTES + \
+                SACK_BLOCK_BYTES * len(sack_blocks)
+        self.header_bytes = header
+        self.byte_length = header + payload_bytes
+        #: Per-flow vanilla ordinal tag (set by the HACK driver so the
+        #: opportunistic pull can spare context-establishing ACKs).
+        self._hack_init_ordinal = 0
 
     @property
     def is_pure_ack(self) -> bool:
@@ -82,7 +117,7 @@ class TcpSegment:
     @property
     def kind(self) -> str:
         """Stats classification used throughout the MAC layer."""
-        return "tcp_ack" if self.is_pure_ack else "tcp_data"
+        return "tcp_ack" if self.payload_bytes == 0 else "tcp_data"
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if self.is_pure_ack:
@@ -91,19 +126,17 @@ class TcpSegment:
                 f"+{self.payload_bytes}>")
 
 
-@dataclass
 class UdpDatagram:
     """A UDP packet (payload length only)."""
 
-    src: str
-    dst: str
-    payload_bytes: int
-    seq: int = 0
+    __slots__ = ("src", "dst", "payload_bytes", "seq", "byte_length")
 
-    @property
-    def byte_length(self) -> int:
-        return IP_HEADER_BYTES + 8 + self.payload_bytes
+    kind = "udp"
 
-    @property
-    def kind(self) -> str:
-        return "udp"
+    def __init__(self, src: str, dst: str, payload_bytes: int,
+                 seq: int = 0):
+        self.src = src
+        self.dst = dst
+        self.payload_bytes = payload_bytes
+        self.seq = seq
+        self.byte_length = IP_HEADER_BYTES + 8 + payload_bytes

@@ -21,8 +21,11 @@ again:
   instead of permanent.
 
 Every spawned flow is recorded in a
-:class:`~repro.stats.fct.FctCollector`; flows still in flight when the
-run ends are finalised as *censored* with their partial byte count.
+:class:`~repro.stats.fct.FctCollector` (or, with
+``stream_stats=True``, folded into a bounded-memory
+:class:`~repro.stats.fct.FctAggregator` on completion); flows still in
+flight when the run ends are finalised as *censored* with their
+partial byte count.
 """
 
 from __future__ import annotations
@@ -30,7 +33,7 @@ from __future__ import annotations
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..sim.engine import Simulator
-from ..stats.fct import FctCollector, FctRecord
+from ..stats.fct import FctAggregator, FctCollector, FctRecord
 from ..tcp.flow import TcpFlow, wire_flow
 from ..tcp.segment import FiveTuple
 
@@ -43,7 +46,7 @@ class FlowManager:
 
     def __init__(self, sim: Simulator, server, clients: Dict[str, Any],
                  client_names: List[str], drivers: Dict[str, Any],
-                 collector: FctCollector,
+                 collector: "FctCollector | FctAggregator",
                  direction: str = "download",
                  mss: int = 1460,
                  initial_cwnd_segments: int = 2,
@@ -124,6 +127,7 @@ class FlowManager:
         flow.completed_at = now
         record.end_ns = now
         record.bytes_delivered = flow.receiver.bytes_delivered
+        self.collector.close(record)
         self.flows_completed += 1
         self._reclaim(flow, record.client)
         if on_done is not None:
@@ -153,3 +157,4 @@ class FlowManager:
         deliveries.  Censoring itself is ``end_ns`` staying None."""
         for flow, record, _ in self.live.values():
             record.bytes_delivered = flow.receiver.bytes_delivered
+            self.collector.close(record)

@@ -1,0 +1,117 @@
+"""The CI perf-regression gate: reference parsing and verdicts."""
+
+import importlib.util
+import json
+from pathlib import Path
+
+import pytest
+
+_SPEC = importlib.util.spec_from_file_location(
+    "check_bench_regression",
+    Path(__file__).resolve().parents[2] / "scripts"
+    / "check_bench_regression.py")
+gate = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(gate)
+
+
+def reference(quick_rate=50_000, pr4_rate=None):
+    payload = {
+        "quick": {
+            "fig10-4c-hack": {
+                "before": {"events_per_s": 30_000},
+                "after": {"events_per_s": quick_rate},
+            },
+        },
+    }
+    if pr4_rate is not None:
+        payload["pr4_data_plane"] = {
+            "quick": {
+                "fig10-4c-hack": {
+                    "before": {"events_per_s": quick_rate},
+                    "after": {"events_per_s": pr4_rate},
+                },
+            },
+        }
+    return payload
+
+
+def fresh(rate, topology="fig10-4c-hack"):
+    return {"quick": True,
+            "topologies": {topology: {"events_per_s": rate}}}
+
+
+class TestReferenceSelection:
+    def test_prefers_newest_block(self):
+        ref = reference(quick_rate=50_000, pr4_rate=90_000)
+        assert gate.reference_events_per_s(ref, quick=True) == \
+            {"fig10-4c-hack": 90_000}
+
+    def test_falls_back_to_pr2_block(self):
+        ref = reference(quick_rate=50_000)
+        assert gate.reference_events_per_s(ref, quick=True) == \
+            {"fig10-4c-hack": 50_000}
+
+    def test_empty_reference(self):
+        assert gate.reference_events_per_s({}, quick=True) == {}
+
+
+class TestVerdicts:
+    def test_passes_at_reference_speed(self):
+        assert gate.check(fresh(90_000),
+                          reference(pr4_rate=90_000), 0.25) is None
+
+    def test_passes_just_above_floor(self):
+        assert gate.check(fresh(67_501),
+                          reference(pr4_rate=90_000), 0.25) is None
+
+    def test_fails_below_floor(self):
+        failure = gate.check(fresh(60_000),
+                             reference(pr4_rate=90_000), 0.25)
+        assert failure is not None and "fig10-4c-hack" in failure
+
+    def test_missing_topology_fails(self):
+        failure = gate.check(fresh(90_000, topology="other"),
+                             reference(pr4_rate=90_000), 0.25)
+        assert failure is not None and "missing" in failure
+
+    def test_no_reference_is_a_failure(self):
+        assert gate.check(fresh(90_000), {}, 0.25) is not None
+
+
+class TestMain:
+    def _write(self, tmp_path, fresh_payload, ref_payload):
+        fresh_path = tmp_path / "fresh.json"
+        ref_path = tmp_path / "ref.json"
+        fresh_path.write_text(json.dumps(fresh_payload))
+        ref_path.write_text(json.dumps(ref_payload))
+        return str(fresh_path), str(ref_path)
+
+    def test_exit_codes(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("BENCH_GATE_SKIP", raising=False)
+        monkeypatch.delenv("BENCH_GATE_TOLERANCE", raising=False)
+        fresh_path, ref_path = self._write(
+            tmp_path, fresh(60_000), reference(pr4_rate=90_000))
+        assert gate.main(["--fresh", fresh_path,
+                          "--reference", ref_path]) == 1
+        assert gate.main(["--fresh", fresh_path,
+                          "--reference", ref_path,
+                          "--tolerance", "0.5"]) == 0
+
+    def test_env_overrides(self, tmp_path, monkeypatch):
+        fresh_path, ref_path = self._write(
+            tmp_path, fresh(10_000), reference(pr4_rate=90_000))
+        monkeypatch.setenv("BENCH_GATE_SKIP", "1")
+        assert gate.main(["--fresh", fresh_path,
+                          "--reference", ref_path]) == 0
+        monkeypatch.delenv("BENCH_GATE_SKIP")
+        monkeypatch.setenv("BENCH_GATE_TOLERANCE", "0.95")
+        assert gate.main(["--fresh", fresh_path,
+                          "--reference", ref_path]) == 0
+
+    def test_bad_tolerance(self, tmp_path, monkeypatch):
+        monkeypatch.delenv("BENCH_GATE_SKIP", raising=False)
+        fresh_path, ref_path = self._write(
+            tmp_path, fresh(90_000), reference(pr4_rate=90_000))
+        assert gate.main(["--fresh", fresh_path,
+                          "--reference", ref_path,
+                          "--tolerance", "1.5"]) == 2

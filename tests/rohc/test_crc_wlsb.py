@@ -41,6 +41,20 @@ class TestCrc:
     def test_empty_input(self):
         assert isinstance(crc3(b""), int)
 
+    def test_tables_match_bitwise_reference(self):
+        # The table-driven fast path must agree exactly with the
+        # retained bit-by-bit reference on a broad input set: every
+        # single byte, and structured multi-byte patterns.
+        from repro.rohc.crc import CRC3_POLY, CRC7_POLY, CRC8_POLY, \
+            _crc_bitwise
+        cases = [bytes([b]) for b in range(256)]
+        cases += [bytes(range(n)) for n in (2, 3, 7, 16, 40)]
+        cases += [b"\xFF" * 8, b"\x00" * 8, b"\xA5\x5A" * 10, b""]
+        for data in cases:
+            assert crc3(data) == _crc_bitwise(data, 3, CRC3_POLY, 0x7)
+            assert crc7(data) == _crc_bitwise(data, 7, CRC7_POLY, 0x7F)
+            assert crc8(data) == _crc_bitwise(data, 8, CRC8_POLY, 0xFF)
+
 
 class TestWlsb:
     def test_encode_keeps_low_bits(self):
