@@ -10,7 +10,10 @@ events per wall-second:
 * ``lossy-link``     — one client behind an SNR loss model (Fig 11);
 * ``fig10-4c-hack``  — the Fig 10 four-client MORE DATA cell;
 * ``fig10-10c-tcp``  — the Fig 10 ten-client stock-TCP cell, the
-  contention-heavy regime where backoff/poll overhead peaks.
+  contention-heavy regime where backoff/poll overhead peaks;
+* ``2cell-contention`` — two overlapping 2-client BSSes sharing the
+  channel (``cells=2``): inter-cell deference plus per-cell dispatch,
+  the multi-AP hot path.
 
 Usage::
 
@@ -49,6 +52,7 @@ TOPOLOGIES = {
     "fig10-4c-hack": ("multi-client", {}),
     "fig10-10c-tcp": ("multi-client",
                       {"n_clients": 10, "policy": HackPolicy.VANILLA}),
+    "2cell-contention": ("multi-ap", {}),
 }
 
 

@@ -31,11 +31,20 @@ from .experiments import runner as experiments_runner
 from .experiments.batch import SweepResult
 from .experiments.common import format_table
 from .sim.units import MS, SEC, usec
+from .stats.fct import has_completions
 from .workloads import registry
 from .workloads.registry import UnknownScenarioError
 from .workloads.scenarios import LossSpec, ScenarioConfig, run_scenario
 
 SCENARIO_PREFIX = "scenario:"
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(
+            f"must be a positive integer, got {value}")
+    return value
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,7 +61,11 @@ def _build_parser() -> argparse.ArgumentParser:
     sim.add_argument("--phy", choices=("11a", "11n"), default="11n")
     sim.add_argument("--rate", type=float, default=150.0,
                      help="PHY data rate in Mbps")
-    sim.add_argument("--clients", type=int, default=1)
+    sim.add_argument("--clients", type=int, default=1,
+                     help="clients per cell")
+    sim.add_argument("--cells", type=_positive_int, default=1,
+                     help="co-channel overlapping cells (each a full "
+                          "AP + clients BSS on the one medium)")
     sim.add_argument("--flows-per-client", type=int, default=1)
     sim.add_argument("--policy",
                      choices=[p.value for p in HackPolicy],
@@ -127,7 +140,7 @@ def _simulate(args: argparse.Namespace) -> int:
             loss = LossSpec()
         config = ScenarioConfig(
             phy_mode=args.phy, data_rate_mbps=args.rate,
-            n_clients=args.clients,
+            n_clients=args.clients, cells=args.cells,
             flows_per_client=args.flows_per_client,
             policy=HackPolicy(args.policy), traffic=args.traffic,
             duration_ns=duration, warmup_ns=warmup, seed=args.seed,
@@ -153,6 +166,22 @@ def _simulate(args: argparse.Namespace) -> int:
     print(f"frames / collided : {result.medium_frames_sent} / "
           f"{result.medium_frames_collided}")
     print(f"medium utilisation: {result.medium_utilisation:8.2%}")
+    if len(result.cell_blocks) > 1:
+        for block in result.cell_blocks:
+            parts = [f"carried {block['carried_mbps']:7.2f} Mbps",
+                     f"airtime {block['airtime_share']:6.2%}",
+                     f"frames {block['frames_sent']}/"
+                     f"{block['frames_collided']} collided"]
+            cell_fct = block["fct"]
+            if cell_fct is not None:
+                parts.append(f"flows {cell_fct['flows_completed']}")
+                if has_completions(cell_fct["fct_ms"]):
+                    parts.append(
+                        f"p50 {cell_fct['fct_ms']['p50']:.1f} ms")
+            print(f"  {block['label']} ({block['ap']:<4}): "
+                  + ", ".join(parts))
+        print(f"cell fairness     : "
+              f"{result.cell_fairness_index:8.4f}")
     counters = result.decomp_counters
     if counters["acks_reconstructed"]:
         print(f"HACK ACKs         : "
@@ -167,7 +196,7 @@ def _simulate(args: argparse.Namespace) -> int:
         print(f"flows             : {fct['flows_spawned']} spawned, "
               f"{fct['flows_completed']} completed, "
               f"{fct['flows_censored']} censored")
-        if fct["fct_ms"] is not None:
+        if has_completions(fct["fct_ms"]):
             dist = fct["fct_ms"]
             streaming = fct.get("streaming")
             suffix = ""
@@ -206,7 +235,8 @@ def _print_scenario_sweep(name: str, result: SweepResult) -> None:
            f"{cell['stdev']:.2f}", f"{fairness['mean']:.4f}"]
     metrics = result.metrics_for((name,))
     if metrics and all(m.get("fct") for m in metrics) \
-            and all(m["fct"]["fct_ms"] for m in metrics):
+            and all(has_completions(m["fct"]["fct_ms"])
+                    for m in metrics):
         flows = result.cell(
             (name,), lambda m: m["fct"]["flows_completed"])
         p50 = result.cell((name,), lambda m: m["fct"]["fct_ms"]["p50"])

@@ -23,6 +23,7 @@ from typing import Dict, List, Optional
 
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC
+from ..stats.fct import has_completions
 from ..traffic.arrivals import ArrivalSpec, SizeSpec
 from ..workloads.scenarios import ScenarioConfig
 from .batch import SweepResult, SweepRunner, SweepSpec
@@ -88,7 +89,7 @@ def sweep_spec(quick: bool = False, shapes=SHAPES,
 def _fct_metric(field: str):
     def metric(metrics: Dict) -> float:
         block = metrics["fct"]["fct_ms"]
-        if block is None:
+        if not has_completions(block):
             raise ValueError("cell completed zero flows; raise the "
                              "run duration or arrival rate")
         return block[field]

@@ -23,7 +23,7 @@ import time
 from pathlib import Path
 
 from . import ablations, crossval, fct_churn, fig01, fig09, fig10, \
-    fig11, fig12, table2, table3
+    fig11, fig12, multi_ap, table2, table3
 from .batch import SweepRunner
 
 EXPERIMENTS = {
@@ -37,6 +37,7 @@ EXPERIMENTS = {
     "fig12": fig12,
     "ablations": ablations,
     "fct_churn": fct_churn,  # extension: flow churn / FCT
+    "multi_ap": multi_ap,    # extension: overlapping co-channel cells
 }
 
 DEFAULT_CACHE_DIR = ".sweep-cache"

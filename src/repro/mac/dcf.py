@@ -44,7 +44,7 @@ from typing import Any, Deque, Dict, List, Optional
 
 from ..phy.params import PhyParams
 from ..sim.engine import Simulator
-from ..sim.medium import Medium, MediumListener
+from ..sim.medium import DEFAULT_CELL, Medium, MediumListener
 from .aggregation import build_batch
 from .blockack import BlockAckOriginator, BlockAckRecipient
 from .frames import AckFrame, AmpduFrame, BarFrame, BlockAckFrame, \
@@ -117,7 +117,8 @@ class DcfMac(MediumListener):
     def __init__(self, sim: Simulator, medium: Medium, phy: PhyParams,
                  address: str, params: MacParams, rng,
                  upper: Optional[MacUpper] = None, stats=None,
-                 loss_model=None, rate_control_factory=None):
+                 loss_model=None, rate_control_factory=None,
+                 cell: Any = DEFAULT_CELL):
         self.sim = sim
         self.medium = medium
         self.phy = phy
@@ -127,10 +128,14 @@ class DcfMac(MediumListener):
         self.upper = upper if upper is not None else MacUpper()
         self.stats = stats
         self.loss_model = loss_model
+        #: Co-channel dispatch group (BSS) this station decodes frames
+        #: in; stations of other cells only share carrier sense and
+        #: collisions with it (see repro.sim.medium).
+        self.cell = cell
         #: Per-destination transmit-rate policy (FixedRate by default).
         self.rate_control_factory = rate_control_factory
         self._rate_controllers: Dict[str, Any] = {}
-        medium.attach(self)
+        medium.attach(self, cell=cell)
 
         # Transmit-side state
         self._queues: Dict[str, Deque] = {}

@@ -1,11 +1,13 @@
 """The shared wireless medium.
 
-Models a single collision domain: every station hears every other
-station (the paper simulates clients within a 10 m circle around the AP
-and states there are no hidden terminals).  Consequences:
+Models one *channel* as a single collision domain: every station hears
+every other station's energy (the paper simulates clients within a
+10 m circle around the AP and states there are no hidden terminals).
+Consequences:
 
 * Carrier sense is global — the channel is busy for everyone whenever
-  at least one transmission is in flight.
+  at least one transmission is in flight, regardless of which cell the
+  transmitter belongs to.
 * Two transmissions that overlap in time corrupt each other (a
   collision); every receiver sees garbage for both frames.
 * Independent per-receiver losses (low SNR) are applied by a pluggable
@@ -20,6 +22,39 @@ gets the cheap carrier-level :meth:`MediumListener.on_frame_overheard`.
 Listener call *order* is unchanged from the broadcast scan (attach
 order), which keeps event sequencing — and therefore whole-simulation
 determinism — identical to the pre-map behaviour.
+
+**Overlapping cells.**  Several BSSes (an AP plus its clients) can
+share the one channel: ``attach(listener, cell=k)`` puts a station in
+dispatch group ``k``.  Each cell keeps its own listener list and
+address map, so intact-frame dispatch — the per-frame hot path — stays
+O(stations in the transmitter's cell) no matter how many co-channel
+cells exist.  Inter-cell coupling happens exactly where 802.11's
+physical carrier sense lives:
+
+* busy/idle transitions are broadcast to *every* listener, so a cell-B
+  AP defers (DIFS + frozen backoff) while a cell-A transmission is in
+  flight;
+* overlapping transmissions collide regardless of cell, and the
+  resulting :meth:`MediumListener.on_frame_error` is delivered to all
+  cells (every station heard garbage, so everyone pays EIFS);
+* intact frames are decoded only within the transmitter's own cell —
+  other cells sense the energy but never pay the decode path.  This is
+  the energy-detect OBSS model: a station keeps EIFS until a *good*
+  frame of its own cell (or its own exchange) clears it, and a station
+  awaiting a response during a cross-cell transmission resolves the
+  failure through its busy-aware response timeout rather than through
+  frame delivery.
+
+A single-cell simulation (everything attached to the default cell)
+takes exactly the historical code paths in the same order, which is
+what keeps the paper's scenarios bit-identical.
+
+Per-cell airtime is accounted on transmission end: a *non-collided*
+transmission credits its duration to its sender's cell.  Clean
+transmissions never overlap (any overlap is a collision by
+definition), so summing those credits across cells can never
+double-count an instant — per-cell airtime shares always sum to at
+most the elapsed window.
 """
 
 from __future__ import annotations
@@ -28,18 +63,25 @@ from typing import Any, Callable, Dict, List, Optional
 
 from .engine import Simulator
 
+#: The dispatch group stations land in when ``attach`` is not given an
+#: explicit cell (and transmissions from never-attached senders are
+#: attributed to).  Single-cell simulations only ever touch this one.
+DEFAULT_CELL = 0
+
 
 class Transmission:
     """One frame in flight on the medium."""
 
-    __slots__ = ("sender", "frame", "start", "end", "collided")
+    __slots__ = ("sender", "frame", "start", "end", "collided", "cell")
 
-    def __init__(self, sender: Any, frame: Any, start: int, end: int):
+    def __init__(self, sender: Any, frame: Any, start: int, end: int,
+                 cell: Any = DEFAULT_CELL):
         self.sender = sender
         self.frame = frame
         self.start = start
         self.end = end
         self.collided = False
+        self.cell = cell
 
     @property
     def duration(self) -> int:
@@ -79,15 +121,41 @@ class MediumListener:
         """A frame arrived but was corrupted (collision or channel loss)."""
 
 
+class _Cell:
+    """One co-channel BSS's dispatch group and airtime accounting."""
+
+    __slots__ = ("listeners", "by_address", "airtime_ns",
+                 "frames_sent", "frames_collided")
+
+    def __init__(self) -> None:
+        self.listeners: List[MediumListener] = []
+        #: Station address -> listener, for O(1) delivery dispatch
+        #: scoped to this cell.
+        self.by_address: Dict[Any, MediumListener] = {}
+        #: Cumulative ns of *clean* (non-collided) transmissions by
+        #: this cell's stations.  Clean transmissions are globally
+        #: disjoint in time, so these credits never double-count.
+        self.airtime_ns: int = 0
+        self.frames_sent: int = 0
+        self.frames_collided: int = 0
+
+
 class Medium:
-    """Single-channel broadcast medium with collisions and carrier sense."""
+    """Single-channel broadcast medium with collisions and carrier sense.
+
+    Supports several overlapping cells (dispatch groups) on the one
+    channel; see the module docstring for the inter-cell semantics.
+    """
 
     def __init__(self, sim: Simulator, loss_model: Optional[Any] = None):
         self.sim = sim
         self.loss_model = loss_model
         self.listeners: List[MediumListener] = []
-        #: Station address -> listener, for O(1) delivery dispatch.
-        self._by_address: Dict[Any, MediumListener] = {}
+        #: cell key -> dispatch group; the default cell always exists.
+        self._cells: Dict[Any, _Cell] = {DEFAULT_CELL: _Cell()}
+        #: listener -> cell key (senders not in here transmit as the
+        #: default cell — test doubles mostly).
+        self._cell_of: Dict[Any, Any] = {}
         self._active: List[Transmission] = []
         #: Cumulative ns the channel has spent busy (for utilisation stats).
         self.busy_time: int = 0
@@ -99,12 +167,53 @@ class Medium:
         self.observers: List[Callable[[Transmission], None]] = []
 
     # ------------------------------------------------------------------
-    def attach(self, listener: MediumListener) -> None:
-        """Register a station; it will hear busy/idle and frame events."""
+    def attach(self, listener: MediumListener,
+               cell: Any = DEFAULT_CELL) -> None:
+        """Register a station; it will hear busy/idle and frame events.
+
+        ``cell`` selects the dispatch group the station decodes frames
+        in; stations of other cells only share carrier sense (busy/
+        idle) and collision corruption with it.
+        """
         self.listeners.append(listener)
+        group = self._cells.get(cell)
+        if group is None:
+            group = self._cells[cell] = _Cell()
+        group.listeners.append(listener)
+        self._cell_of[listener] = cell
         address = getattr(listener, "address", None)
         if address is not None:
-            self._by_address[address] = listener
+            group.by_address[address] = listener
+
+    def cell_keys(self) -> List[Any]:
+        """Every dispatch group created so far (default cell first)."""
+        return list(self._cells)
+
+    def cell_of(self, listener: MediumListener) -> Any:
+        """The dispatch group a listener was attached under."""
+        return self._cell_of.get(listener, DEFAULT_CELL)
+
+    def cell_stats(self, cell: Any = DEFAULT_CELL) -> Dict[str, int]:
+        """Per-cell counters: clean airtime and frames offered/collided."""
+        group = self._cells.get(cell)
+        if group is None:
+            return {"airtime_ns": 0, "frames_sent": 0,
+                    "frames_collided": 0}
+        return {"airtime_ns": group.airtime_ns,
+                "frames_sent": group.frames_sent,
+                "frames_collided": group.frames_collided}
+
+    def cell_airtime_share(self, cell: Any = DEFAULT_CELL,
+                           elapsed: Optional[int] = None) -> float:
+        """Fraction of a window this cell's clean transmissions held the
+        channel.  Shares across cells sum to at most 1 (clean
+        transmissions are disjoint by definition of a collision)."""
+        if elapsed is not None and elapsed < 0:
+            raise ValueError(f"negative elapsed window {elapsed}")
+        total = elapsed if elapsed is not None else self.sim.now
+        if total <= 0:
+            return 0.0
+        return min(1.0, self.cell_stats(cell)["airtime_ns"] / total)
 
     @property
     def busy(self) -> bool:
@@ -136,18 +245,23 @@ class Medium:
         if duration <= 0:
             raise ValueError("transmission duration must be positive")
         now = self.sim.now
-        tx = Transmission(sender, frame, now, now + duration)
+        cell = self._cell_of.get(sender, DEFAULT_CELL)
+        tx = Transmission(sender, frame, now, now + duration, cell=cell)
         was_idle = not self._active
         if self._active:
-            # Collision: every concurrently in-flight frame is corrupted.
+            # Collision: every concurrently in-flight frame is
+            # corrupted, whichever cell it belongs to.
             tx.collided = True
             for other in self._active:
                 if not other.collided:
                     other.collided = True
                     self.frames_collided += 1
+                    self._cells[other.cell].frames_collided += 1
             self.frames_collided += 1
+            self._cells[cell].frames_collided += 1
         self._active.append(tx)
         self.frames_sent += 1
+        self._cells[cell].frames_sent += 1
         if was_idle:
             self._busy_since = now
             for listener in self.listeners:
@@ -169,9 +283,13 @@ class Medium:
             self._busy_since = None
             for listener in listeners:
                 listener.on_channel_idle(now)
-        # Deliver to every station except the sender: the addressed
-        # station (resolved once, via the per-station map) takes the
-        # full receive path, everyone else the cheap overheard path.
+        # Deliver to every station of the sender's cell except the
+        # sender itself: the addressed station (resolved once, via the
+        # cell's address map) takes the full receive path, everyone
+        # else in the cell the cheap overheard path.  A *collided*
+        # frame is garbage for every cell, so errors go to all
+        # listeners.  Intact frames are never decoded outside the
+        # sender's cell (energy-detect OBSS; see module docstring).
         sender = tx.sender
         frame = tx.frame
         loss_model = self.loss_model
@@ -180,8 +298,10 @@ class Medium:
                 if listener is not sender:
                     listener.on_frame_error(frame, sender)
         else:
-            target = self._by_address.get(getattr(frame, "dst", None))
-            for listener in listeners:
+            group = self._cells[tx.cell]
+            group.airtime_ns += tx.end - tx.start
+            target = group.by_address.get(getattr(frame, "dst", None))
+            for listener in group.listeners:
                 if listener is sender:
                     continue
                 if loss_model is not None and loss_model.is_lost(

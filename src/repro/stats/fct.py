@@ -118,6 +118,27 @@ def _distribution(fcts_ms: Sequence[float]) -> Dict[str, float]:
     }
 
 
+def zero_distribution() -> Dict[str, Any]:
+    """The ``fct_ms`` block of a run that completed zero flows.
+
+    Explicit (``flows: 0`` with null statistics) rather than a bare
+    ``None``: consumers keying into the block get a clear "nothing
+    completed" record instead of a silently missing distribution, and
+    the schema stays a dict in every case.  ``flows`` only appears
+    here — non-empty distributions carry their counts in the sibling
+    ``flows_completed`` / per-size ``flows`` fields as before.
+    """
+    return {"p50": None, "p95": None, "p99": None,
+            "mean": None, "min": None, "max": None, "flows": 0}
+
+
+def has_completions(fct_ms: Optional[Dict[str, Any]]) -> bool:
+    """True when an ``fct_ms`` block holds a real distribution (it is
+    the zero-count block when no flow completed; older artifacts used
+    ``None``)."""
+    return fct_ms is not None and fct_ms.get("p50") is not None
+
+
 def size_bin_label(size_bytes: int) -> str:
     for bound, label in SIZE_BINS:
         if bound is None or size_bytes <= bound:
@@ -146,6 +167,16 @@ class FctCollector:
         Exact mode keeps every record, so there is nothing to fold;
         the hook exists so the :class:`FctAggregator` can share the
         :class:`~repro.traffic.manager.FlowManager` call sequence."""
+
+    def merge(self, other: "FctCollector") -> None:
+        """Fold another collector's records into this one (multi-cell
+        runs merge per-cell collectors into the combined ``fct``
+        block).  ``other`` is left untouched."""
+        if not isinstance(other, FctCollector):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into exact "
+                "FctCollector (collection modes must match)")
+        self.records.extend(other.records)
 
     # -- views ---------------------------------------------------------
     @property
@@ -182,7 +213,8 @@ class FctCollector:
             "flows_spawned": self.spawned,
             "flows_completed": len(done),
             "flows_censored": self.spawned - len(done),
-            "fct_ms": _distribution(fcts_ms) if fcts_ms else None,
+            "fct_ms": _distribution(fcts_ms) if fcts_ms
+            else zero_distribution(),
             "fct_by_size_ms": by_size,
             "offered_load_mbps":
                 offered_bytes * 8 * 1_000.0 / duration_ns
@@ -218,6 +250,18 @@ class _StreamBin:
             self.maximum = fct_ms
         self.histogram[bin_index] = \
             self.histogram.get(bin_index, 0) + 1
+
+    def merge(self, other: "_StreamBin") -> None:
+        """Fold another population in; exact fields stay exact."""
+        self.count += other.count
+        self.total += other.total
+        if other.minimum < self.minimum:
+            self.minimum = other.minimum
+        if other.maximum > self.maximum:
+            self.maximum = other.maximum
+        for index, count in other.histogram.items():
+            self.histogram[index] = \
+                self.histogram.get(index, 0) + count
 
 
 class FctAggregator:
@@ -295,6 +339,34 @@ class FctAggregator:
         if per_size is None:
             per_size = self.by_size[label] = _StreamBin()
         per_size.add(fct_ms, index)
+
+    def merge(self, other: "FctAggregator") -> None:
+        """Fold another aggregator in (multi-cell runs merge per-cell
+        aggregators into the combined ``fct`` block).
+
+        Counts, means, min/max, size-bin tallies and load accounting
+        stay exact; histograms add bin-wise, so merged percentiles
+        carry the same documented one-bin resolution as any single
+        aggregator (both sides quantise on the identical global bin
+        edges — merging loses nothing beyond that).  ``max_live`` sums
+        (the cells ran concurrently, so the peaks may coincide: the
+        sum is the honest upper bound).  ``other`` is left untouched.
+        """
+        if not isinstance(other, FctAggregator):
+            raise TypeError(
+                f"cannot merge {type(other).__name__} into streaming "
+                "FctAggregator (collection modes must match)")
+        self.spawned += other.spawned
+        self.offered_bytes += other.offered_bytes
+        self.carried_bytes += other.carried_bytes
+        self.live_open += other.live_open
+        self.max_live += other.max_live
+        self.overall.merge(other.overall)
+        for label, bin_ in other.by_size.items():
+            mine = self.by_size.get(label)
+            if mine is None:
+                mine = self.by_size[label] = _StreamBin()
+            mine.merge(bin_)
 
     @classmethod
     def _bin_index(cls, fct_ms: float) -> int:
@@ -382,7 +454,7 @@ class FctAggregator:
             "flows_completed": done,
             "flows_censored": self.spawned - done,
             "fct_ms": self._stream_distribution(self.overall)
-            if done else None,
+            if done else zero_distribution(),
             "fct_by_size_ms": by_size,
             "offered_load_mbps":
                 self.offered_bytes * 8 * 1_000.0 / duration_ns

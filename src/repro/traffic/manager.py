@@ -40,6 +40,12 @@ from ..tcp.segment import FiveTuple
 #: Dynamic flows get ids above every statically wired flow's.
 DYNAMIC_FLOW_ID_BASE = 1000
 
+#: Gap between consecutive cells' dynamic-flow id ranges.  A cell
+#: would have to spawn ten million flows before touching its
+#: neighbour's range — comfortably past what even the million-flow
+#: streaming-stats regime produces in one run.
+CELL_FLOW_ID_STRIDE = 10_000_000
+
 
 class FlowManager:
     """Creates, tracks and reclaims dynamically arriving TCP flows."""
@@ -54,9 +60,13 @@ class FlowManager:
                  delayed_ack: bool = True,
                  generate_sack: bool = False,
                  sack_recovery: bool = False,
-                 ap_name: str = "AP"):
+                 ap_name: str = "AP",
+                 flow_id_base: int = DYNAMIC_FLOW_ID_BASE,
+                 ip_prefix: str = "10.0"):
         if direction not in ("download", "upload"):
             raise ValueError(f"unknown direction {direction!r}")
+        if flow_id_base <= 0:
+            raise ValueError("flow_id_base must be positive")
         self.sim = sim
         self.server = server
         self.clients = clients
@@ -72,8 +82,14 @@ class FlowManager:
         self.generate_sack = generate_sack
         self.sack_recovery = sack_recovery
         self.ap_name = ap_name
+        #: Per-cell managers use disjoint id ranges (cell i starts at
+        #: ``DYNAMIC_FLOW_ID_BASE + i * CELL_FLOW_ID_STRIDE``) so flow
+        #: ids stay unique across a whole multi-AP run.
+        self.flow_id_base = flow_id_base
+        #: First two octets of this BSS's wired subnet ("10.<cell>").
+        self.ip_prefix = ip_prefix
 
-        self._next_flow_id = DYNAMIC_FLOW_ID_BASE + 1
+        self._next_flow_id = flow_id_base + 1
         #: flow_id -> (flow, record, on_done)
         self.live: Dict[int, Tuple[TcpFlow, FctRecord,
                                    Optional[Callable[[], None]]]] = {}
@@ -95,8 +111,9 @@ class FlowManager:
         self._next_flow_id += 1
         # Ports cycle through a large range so five-tuples of *live*
         # flows never collide (ids are unique per run).
-        port = 10_000 + (flow_id - DYNAMIC_FLOW_ID_BASE) % 50_000
-        tuple_down = FiveTuple("10.0.0.1", f"10.0.1.{index + 1}",
+        port = 10_000 + (flow_id - self.flow_id_base) % 50_000
+        tuple_down = FiveTuple(f"{self.ip_prefix}.0.1",
+                               f"{self.ip_prefix}.1.{index + 1}",
                                port, 80)
         flow = wire_flow(
             self.sim, flow_id, tuple_down, self.direction,

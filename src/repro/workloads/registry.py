@@ -231,6 +231,40 @@ def _udp_background() -> ScenarioConfig:
         duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS)
 
 
+# -- Multi-AP overlapping cells (cells=N on one channel) ---------------
+@register("multi-ap",
+          "two overlapping BSSes (2 APs x 2 clients) contending for "
+          "one channel, bulk TCP/HACK downloads in both — inter-cell "
+          "contention (examples/multi_ap_cells.py)")
+def _multi_ap() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=2, cells=2,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS)
+
+
+@register("multi-ap-vanilla",
+          "the multi-ap topology on stock TCP/802.11n (the baseline "
+          "for HACK's inter-cell story)")
+def _multi_ap_vanilla() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=2, cells=2,
+        traffic="tcp_download", policy=HackPolicy.VANILLA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS)
+
+
+@register("multi-ap-churn",
+          "two overlapping cells each running Poisson flow churn — "
+          "FCT under inter-cell contention, reported per cell and "
+          "merged")
+def _multi_ap_churn() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=2, cells=2,
+        traffic="dynamic", policy=HackPolicy.MORE_DATA,
+        arrivals=_poisson_arrivals(),
+        duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
 @register("sora-testbed",
           "the §4 SoRa 802.11a testbed: 54 Mbps, per-client loss, "
           "late LL ACKs (examples/sora_testbed.py)")

@@ -13,12 +13,22 @@ flow churn (arrivals, finite transfers, runtime teardown; see
 :mod:`repro.traffic`), reported through the result's ``fct`` block,
 and ``udp_background_mbps`` adds per-client constant-bit-rate UDP
 noise to any TCP workload.
+
+``cells=N`` replicates the whole BSS — AP, wired server/link, clients
+and traffic — N times on the *same* channel (one
+:class:`~repro.sim.medium.Medium` collision domain).  Co-channel cells
+defer to and collide with each other through the ordinary DCF/EIFS
+machinery while frame decoding stays scoped to each cell's own address
+map; results gain per-cell blocks (goodput, clean-airtime share, FCT,
+intra-cell Jain) plus a cross-cell fairness index.  Cell 1 is wired
+exactly as the historical single-BSS topology, so single-cell runs are
+bit-identical to what they always were.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..core.driver import HackDriver
 from ..core.policies import HackConfig, HackPolicy
@@ -33,11 +43,12 @@ from ..sim.rng import RngRegistry
 from ..sim.units import MS, SEC, msec, sec, throughput_mbps, usec
 from ..sim.wired import WiredLink
 from ..stats.collectors import MacStats
-from ..stats.fairness import goodput_fairness
+from ..stats.fairness import goodput_fairness, jain_index
 from ..stats.fct import FctAggregator, FctCollector
 from ..stats.trace import MediumTracer
 from ..traffic.arrivals import ArrivalSpec, build_processes
-from ..traffic.manager import FlowManager
+from ..traffic.manager import CELL_FLOW_ID_STRIDE, \
+    DYNAMIC_FLOW_ID_BASE, FlowManager
 from ..tcp.flow import TcpFlow, wire_flow
 from ..tcp.segment import FiveTuple
 from ..nodes.ap import ApNode
@@ -77,6 +88,14 @@ class ScenarioConfig:
     phy_mode: str = "11n"              # "11a" | "11n"
     data_rate_mbps: float = 150.0
     n_clients: int = 1
+    #: Co-channel overlapping cells: each cell is a full BSS (AP +
+    #: wired server/link + clients + its own traffic) sharing the one
+    #: collision domain.  1 = the paper's single-BSS topology.
+    cells: int = 1
+    #: Per-cell client counts (length ``cells``); None = ``n_clients``
+    #: clients in every cell.  A 0 entry builds a silent BSS (AP and
+    #: wired plumbing, no stations, no traffic).
+    cell_clients: Optional[Tuple[int, ...]] = None
     #: Concurrent TCP flows per client (the AP queue scales with this,
     #: matching the paper's "126 packets per flow" sizing).
     flows_per_client: int = 1
@@ -155,6 +174,44 @@ class ScenarioConfig:
     def client_names(self) -> List[str]:
         return [f"C{i + 1}" for i in range(self.n_clients)]
 
+    # -- multi-cell helpers -------------------------------------------
+    def validate_cells(self) -> None:
+        if self.cells < 1:
+            raise ValueError(f"cells must be >= 1, got {self.cells}")
+        if self.cell_clients is not None:
+            if len(self.cell_clients) != self.cells:
+                raise ValueError(
+                    f"cell_clients has {len(self.cell_clients)} "
+                    f"entries for {self.cells} cells")
+            if any(n < 0 for n in self.cell_clients):
+                raise ValueError("cell_clients entries must be >= 0")
+
+    def clients_in_cell(self, cell: int) -> int:
+        if self.cell_clients is not None:
+            return self.cell_clients[cell]
+        return self.n_clients
+
+    def cell_label(self, cell: int) -> str:
+        """Stable metrics key for one cell ("cell1" is the legacy BSS)."""
+        return f"cell{cell + 1}"
+
+    def cell_ap_name(self, cell: int) -> str:
+        """Cell 0 keeps the historical "AP" (bit-identity); later
+        cells get globally unique addresses ("AP2", "AP3", ...)."""
+        return "AP" if cell == 0 else f"AP{cell + 1}"
+
+    def cell_client_names(self, cell: int) -> List[str]:
+        """Station addresses are unique across the whole channel:
+        cell 0 keeps "C1".."Cn", cell k (k >= 1) gets "C1.<k+1>"..."""
+        count = self.clients_in_cell(cell)
+        if cell == 0:
+            return [f"C{i + 1}" for i in range(count)]
+        return [f"C{i + 1}.{cell + 1}" for i in range(count)]
+
+    def cell_ip_prefix(self, cell: int) -> str:
+        """Each cell's wired island gets its own /16 ("10.<cell>")."""
+        return f"10.{cell}"
+
 
 @dataclass
 class ScenarioResult:
@@ -188,7 +245,14 @@ class ScenarioResult:
     udp_background_goodput_mbps: Dict[str, float] = field(
         default_factory=dict)
     #: The live FlowManager (in-process consumers/tests; not metrics).
+    #: Multi-cell runs keep cell 1's here; see ``traffic_managers``.
     traffic_manager: Optional[FlowManager] = None
+    #: Per-cell result blocks (plain data; one per cell, "cell1"
+    #: first).  Single-cell runs have exactly one block.
+    cell_blocks: List[Dict[str, Any]] = field(default_factory=list)
+    #: One FlowManager per cell (None where the cell has no arrivals).
+    traffic_managers: List[Optional[FlowManager]] = field(
+        default_factory=list)
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -198,6 +262,14 @@ class ScenarioResult:
     def fairness_index(self) -> float:
         """Jain's index over TCP flows (paper §4.2: 'both are fair')."""
         return goodput_fairness(self.per_flow_goodput_mbps)
+
+    @property
+    def cell_fairness_index(self) -> float:
+        """Jain's index over per-cell carried traffic (static goodput
+        plus churn carried load) — how evenly co-channel cells share
+        the medium.  1.0 for a single cell by construction."""
+        return jain_index(block["carried_mbps"]
+                          for block in self.cell_blocks)
 
     def metrics_dict(self) -> Dict[str, Any]:
         """Full JSON-able flattening of this run (one sweep record).
@@ -243,6 +315,8 @@ class ScenarioResult:
             "fct": self.fct,
             "udp_background_goodput_mbps":
                 dict(self.udp_background_goodput_mbps),
+            "cells": [dict(block) for block in self.cell_blocks],
+            "cell_fairness_index": self.cell_fairness_index,
         }
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -253,6 +327,7 @@ class ScenarioResult:
                 "phy_mode": self.config.phy_mode,
                 "data_rate_mbps": self.config.data_rate_mbps,
                 "n_clients": self.config.n_clients,
+                "cells": self.config.cells,
                 "flows_per_client": self.config.flows_per_client,
                 "policy": self.config.policy.value,
                 "traffic": self.config.traffic,
@@ -285,8 +360,35 @@ def _hack_config(cfg: ScenarioConfig) -> HackConfig:
     return base
 
 
+class _CellNet:
+    """One BSS's live objects while a scenario is being built/run."""
+
+    __slots__ = ("index", "ap_name", "client_names", "server",
+                 "clients", "drivers", "flows", "udp_names",
+                 "background_names", "flow_manager")
+
+    def __init__(self, index: int, ap_name: str,
+                 client_names: List[str]):
+        self.index = index
+        self.ap_name = ap_name
+        self.client_names = client_names
+        self.server: Optional[ServerNode] = None
+        self.clients: Dict[str, ClientNode] = {}
+        self.drivers: Dict[str, HackDriver] = {}
+        self.flows: List[TcpFlow] = []
+        self.udp_names: List[str] = []          # udp_download sinks
+        self.background_names: List[str] = []   # CBR noise sinks
+        self.flow_manager: Optional[FlowManager] = None
+
+
 def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
-    """Build the WLAN described by ``cfg``, run it, collect results."""
+    """Build the WLAN(s) described by ``cfg``, run, collect results.
+
+    With ``cells=1`` (the default) this wires the paper's single-BSS
+    topology exactly as it always did; ``cells=N`` repeats the whole
+    wiring per cell on one shared medium (see the module docstring).
+    """
+    cfg.validate_cells()
     sim = Simulator()
     rngs = RngRegistry(cfg.seed)
     loss_model = cfg.loss.build(rngs.stream("phy-loss"))
@@ -296,7 +398,8 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
     phy = cfg.phy
     mac_stats = MacStats()
 
-    def make_mac(address: str, queue_limit: Optional[int]) -> DcfMac:
+    def make_mac(address: str, queue_limit: Optional[int],
+                 cell: int) -> DcfMac:
         params = MacParams(
             data_rate_mbps=cfg.data_rate_mbps,
             aggregation=cfg.use_aggregation,
@@ -315,31 +418,9 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         return DcfMac(sim, medium, phy, address, params,
                       rngs.stream(f"mac-{address}"), stats=mac_stats,
                       loss_model=loss_model,
-                      rate_control_factory=factory)
+                      rate_control_factory=factory, cell=cell)
 
-    # --- Nodes -------------------------------------------------------
-    hack_cfg = _hack_config(cfg)
-    ap_mac = make_mac(
-        "AP", cfg.ap_queue_per_client * max(1, cfg.flows_per_client))
-    ap_driver = HackDriver(sim, ap_mac, hack_cfg)
-    ap = ApNode(sim, ap_driver)
-
-    server = ServerNode(sim)
-    link = WiredLink(sim, server, ap, cfg.wired_rate_mbps,
-                     cfg.wired_delay_ns)
-    server.attach_link(link)
-    ap.attach_link(link)
-
-    clients: Dict[str, ClientNode] = {}
-    drivers: Dict[str, HackDriver] = {"AP": ap_driver}
-    for name in cfg.client_names():
-        mac = make_mac(name, None)
-        driver = HackDriver(sim, mac, _hack_config(cfg))
-        clients[name] = ClientNode(sim, driver, name,
-                                   stack_delay_ns=cfg.stack_delay_ns)
-        drivers[name] = driver
-
-    # --- Traffic -----------------------------------------------------
+    # --- Traffic validation (shared by every cell) -------------------
     if cfg.traffic not in ("tcp_download", "tcp_upload",
                            "udp_download", "dynamic"):
         raise ValueError(f"unknown traffic {cfg.traffic!r}")
@@ -349,78 +430,138 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
     if cfg.udp_background_mbps > 0 and cfg.traffic == "udp_download":
         raise ValueError("udp_background_mbps composes with TCP "
                          "traffic; use udp_rate_mbps for udp_download")
-    flows: List[TcpFlow] = []
+
+    cells: List[_CellNet] = []
+    flows: List[TcpFlow] = []           # every cell's, build order
     udp_sources: List[tuple] = []       # (client name, UdpSource)
-    flow_specs = []
-    if cfg.traffic != "dynamic":
-        for index, name in enumerate(cfg.client_names()):
-            if cfg.traffic == "udp_download":
-                flow_specs.append((index, name, 0))
-            else:
-                for sub in range(max(1, cfg.flows_per_client)):
-                    flow_specs.append((index, name, sub))
-    for spec_index, (index, name, sub) in enumerate(flow_specs):
-        start_at = spec_index * cfg.stagger_ns
-        if cfg.traffic == "udp_download":
-            source = UdpSource(sim, server, name, cfg.udp_rate_mbps)
-            udp_sources.append((name, source))
-            sim.schedule(start_at, source.start)
-            continue
-        flow_id = spec_index + 1
-        tuple_down = FiveTuple("10.0.0.1", f"10.0.1.{index + 1}",
-                               5000 + flow_id, 80)
-        direction = "download" if cfg.traffic == "tcp_download" \
-            else "upload"
-        flow = wire_flow(
-            sim, flow_id, tuple_down, direction, server,
-            clients[name], name, total_bytes=cfg.file_bytes,
-            mss=cfg.mss,
-            initial_cwnd_segments=cfg.initial_cwnd_segments,
-            initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
-            delayed_ack=cfg.delayed_ack,
-            generate_sack=cfg.generate_sack,
-            sack_recovery=cfg.sack_recovery)
-        sender = flow.sender
-        flows.append(flow)
-
-        def _start(s=sender, f=flow):
-            f.started_at = sim.now
-            s.start()
-
-        def _done(f=flow):
-            f.completed_at = sim.now
-
-        sender.on_complete = _done
-        sim.schedule(start_at, _start)
-
-    # --- Flow churn (dynamic arrivals) -------------------------------
-    flow_manager: Optional[FlowManager] = None
-    if cfg.arrivals is not None:
-        flow_manager = FlowManager(
-            sim, server, clients, cfg.client_names(), drivers,
-            FctAggregator() if cfg.stream_stats else FctCollector(),
-            direction=cfg.arrivals.direction, mss=cfg.mss,
-            initial_cwnd_segments=cfg.initial_cwnd_segments,
-            initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
-            delayed_ack=cfg.delayed_ack,
-            generate_sack=cfg.generate_sack,
-            sack_recovery=cfg.sack_recovery)
-        for process in build_processes(sim, cfg.arrivals,
-                                       flow_manager.spawn,
-                                       cfg.client_names(), rngs):
-            sim.schedule(cfg.arrivals.start_ns, process.start)
-
-    # --- UDP background noise ----------------------------------------
-    # Kept out of ``udp_sources``/``per_flow``: noise is environment,
-    # not workload — it must not inflate aggregate goodput the way
-    # ``udp_download``'s sinks (the measured traffic) legitimately do.
     udp_background: List[tuple] = []
-    if cfg.udp_background_mbps > 0:
-        for name in cfg.client_names():
-            source = UdpSource(sim, server, name,
-                               cfg.udp_background_mbps)
-            udp_background.append((name, source))
-            sim.schedule(0, source.start)
+    clients: Dict[str, ClientNode] = {}     # all cells (unique names)
+    drivers: Dict[str, HackDriver] = {}     # all cells (unique names)
+    next_flow_id = 1
+
+    for cell_index in range(cfg.cells):
+        net = _CellNet(cell_index, cfg.cell_ap_name(cell_index),
+                       cfg.cell_client_names(cell_index))
+        cells.append(net)
+
+        # --- Nodes ---------------------------------------------------
+        ap_mac = make_mac(
+            net.ap_name,
+            cfg.ap_queue_per_client * max(1, cfg.flows_per_client),
+            cell_index)
+        ap_driver = HackDriver(sim, ap_mac, _hack_config(cfg))
+        ap = ApNode(sim, ap_driver, name=net.ap_name)
+
+        server = ServerNode(sim)
+        link = WiredLink(sim, server, ap, cfg.wired_rate_mbps,
+                         cfg.wired_delay_ns)
+        server.attach_link(link)
+        ap.attach_link(link)
+        net.server = server
+        net.drivers[net.ap_name] = ap_driver
+        drivers[net.ap_name] = ap_driver
+
+        for name in net.client_names:
+            mac = make_mac(name, None, cell_index)
+            driver = HackDriver(sim, mac, _hack_config(cfg))
+            client = ClientNode(sim, driver, name,
+                                ap_name=net.ap_name,
+                                stack_delay_ns=cfg.stack_delay_ns)
+            net.clients[name] = client
+            clients[name] = client
+            net.drivers[name] = driver
+            drivers[name] = driver
+
+        # --- Static traffic ------------------------------------------
+        ip = cfg.cell_ip_prefix(cell_index)
+        flow_specs = []
+        if cfg.traffic != "dynamic":
+            for index, name in enumerate(net.client_names):
+                if cfg.traffic == "udp_download":
+                    flow_specs.append((index, name, 0))
+                else:
+                    for sub in range(max(1, cfg.flows_per_client)):
+                        flow_specs.append((index, name, sub))
+        for spec_index, (index, name, sub) in enumerate(flow_specs):
+            # Staggered starts are cell-local: each cell's operator
+            # spaces their own flows, so co-channel cells ramp up
+            # concurrently (that concurrency is the point).
+            start_at = spec_index * cfg.stagger_ns
+            if cfg.traffic == "udp_download":
+                source = UdpSource(sim, server, name,
+                                   cfg.udp_rate_mbps)
+                udp_sources.append((name, source))
+                net.udp_names.append(name)
+                sim.schedule(start_at, source.start)
+                continue
+            flow_id = next_flow_id
+            next_flow_id += 1
+            tuple_down = FiveTuple(f"{ip}.0.1", f"{ip}.1.{index + 1}",
+                                   5000 + flow_id, 80)
+            direction = "download" if cfg.traffic == "tcp_download" \
+                else "upload"
+            flow = wire_flow(
+                sim, flow_id, tuple_down, direction, server,
+                net.clients[name], name, total_bytes=cfg.file_bytes,
+                mss=cfg.mss,
+                initial_cwnd_segments=cfg.initial_cwnd_segments,
+                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+                delayed_ack=cfg.delayed_ack,
+                generate_sack=cfg.generate_sack,
+                sack_recovery=cfg.sack_recovery)
+            sender = flow.sender
+            flows.append(flow)
+            net.flows.append(flow)
+
+            def _start(s=sender, f=flow):
+                f.started_at = sim.now
+                s.start()
+
+            def _done(f=flow):
+                f.completed_at = sim.now
+
+            sender.on_complete = _done
+            sim.schedule(start_at, _start)
+
+        # --- Flow churn (dynamic arrivals) ---------------------------
+        if cfg.arrivals is not None and net.client_names:
+            net.flow_manager = FlowManager(
+                sim, server, net.clients, net.client_names,
+                net.drivers,
+                FctAggregator() if cfg.stream_stats else FctCollector(),
+                direction=cfg.arrivals.direction, mss=cfg.mss,
+                initial_cwnd_segments=cfg.initial_cwnd_segments,
+                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+                delayed_ack=cfg.delayed_ack,
+                generate_sack=cfg.generate_sack,
+                sack_recovery=cfg.sack_recovery,
+                ap_name=net.ap_name,
+                flow_id_base=DYNAMIC_FLOW_ID_BASE
+                + cell_index * CELL_FLOW_ID_STRIDE,
+                ip_prefix=ip)
+            # Cell 1 draws from the historical "traffic:*" streams;
+            # later cells get their own "cell<k>:traffic:*" namespace
+            # so no cell's arrivals can perturb another's draws.
+            cell_rngs = rngs if cell_index == 0 else \
+                rngs.namespace(cfg.cell_label(cell_index))
+            for process in build_processes(sim, cfg.arrivals,
+                                           net.flow_manager.spawn,
+                                           net.client_names,
+                                           cell_rngs):
+                sim.schedule(cfg.arrivals.start_ns, process.start)
+
+        # --- UDP background noise ------------------------------------
+        # Kept out of ``udp_sources``/``per_flow``: noise is
+        # environment, not workload — it must not inflate aggregate
+        # goodput the way ``udp_download``'s sinks (the measured
+        # traffic) legitimately do.
+        if cfg.udp_background_mbps > 0:
+            for name in net.client_names:
+                source = UdpSource(sim, server, name,
+                                   cfg.udp_background_mbps)
+                udp_background.append((name, source))
+                net.background_names.append(name)
+                sim.schedule(0, source.start)
 
     # --- Measurement windows -----------------------------------------
     def snapshot_all() -> None:
@@ -453,23 +594,41 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
             "retransmits": flow.sender.retransmits,
             "segments_sent": flow.sender.segments_sent,
         }
-    for index, (name, source) in enumerate(udp_sources):
+
+    def sink_mbps(name: str) -> Optional[float]:
         snaps = clients[name].udp_snapshots
-        if len(snaps) >= 2:
-            (t0, b0), (t1, b1) = snaps[0], snaps[-1]
-            per_flow[-(index + 1)] = throughput_mbps(b1 - b0, t1 - t0)
+        if len(snaps) < 2:
+            return None
+        (t0, b0), (t1, b1) = snaps[0], snaps[-1]
+        return throughput_mbps(b1 - b0, t1 - t0)
+
+    udp_ids: Dict[int, str] = {}        # pseudo-flow id -> client
+    for index, (name, source) in enumerate(udp_sources):
+        mbps = sink_mbps(name)
+        if mbps is not None:
+            per_flow[-(index + 1)] = mbps
+            udp_ids[-(index + 1)] = name
 
     background_mbps: Dict[str, float] = {}
     for name, source in udp_background:
-        snaps = clients[name].udp_snapshots
-        if len(snaps) >= 2:
-            (t0, b0), (t1, b1) = snaps[0], snaps[-1]
-            background_mbps[name] = throughput_mbps(b1 - b0, t1 - t0)
+        mbps = sink_mbps(name)
+        if mbps is not None:
+            background_mbps[name] = mbps
+
+    for net in cells:
+        if net.flow_manager is not None:
+            net.flow_manager.finalize()
 
     fct_summary: Optional[Dict[str, Any]] = None
-    if flow_manager is not None:
-        flow_manager.finalize()
-        fct_summary = flow_manager.collector.summary(cfg.duration_ns)
+    managers = [net.flow_manager for net in cells
+                if net.flow_manager is not None]
+    if len(managers) == 1:
+        fct_summary = managers[0].collector.summary(cfg.duration_ns)
+    elif managers:
+        merged = type(managers[0].collector)()
+        for manager in managers:
+            merged.merge(manager.collector)
+        fct_summary = merged.summary(cfg.duration_ns)
 
     decomp: Dict[str, int] = {
         "acks_reconstructed": 0, "crc_failures": 0, "unknown_cid": 0,
@@ -477,6 +636,11 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
     for driver in drivers.values():
         for key, value in driver.decompressor_counters().items():
             decomp[key] += value
+
+    cell_blocks = [
+        _cell_block(cfg, net, medium, per_flow, udp_ids,
+                    background_mbps)
+        for net in cells]
 
     return ScenarioResult(
         config=cfg,
@@ -495,6 +659,49 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         trace=tracer,
         kernel_stats=sim.stats.as_dict(),
         fct=fct_summary,
-        traffic_manager=flow_manager,
+        traffic_manager=cells[0].flow_manager,
+        traffic_managers=[net.flow_manager for net in cells],
         udp_background_goodput_mbps=background_mbps,
+        cell_blocks=cell_blocks,
     )
+
+
+def _cell_block(cfg: ScenarioConfig, net: _CellNet, medium: Medium,
+                per_flow: Dict[int, float], udp_ids: Dict[int, str],
+                background_mbps: Dict[str, float]) -> Dict[str, Any]:
+    """One cell's JSON-able metrics block (``metrics_dict()["cells"]``)."""
+    cell_flow: Dict[int, float] = {
+        flow.flow_id: per_flow[flow.flow_id]
+        for flow in net.flows if flow.flow_id in per_flow}
+    for pseudo_id, name in udp_ids.items():
+        if name in net.udp_names:
+            cell_flow[pseudo_id] = per_flow[pseudo_id]
+    aggregate = sum(cell_flow.values())
+    fct: Optional[Dict[str, Any]] = None
+    carried = aggregate
+    if net.flow_manager is not None:
+        fct = net.flow_manager.collector.summary(
+            cfg.duration_ns, include_flows=False)
+        carried += fct["carried_load_mbps"]
+    stats = medium.cell_stats(net.index)
+    return {
+        "label": cfg.cell_label(net.index),
+        "ap": net.ap_name,
+        "clients": list(net.client_names),
+        "aggregate_goodput_mbps": aggregate,
+        "per_flow_goodput_mbps": {
+            str(k): v for k, v in cell_flow.items()},
+        "fairness_index": goodput_fairness(cell_flow),
+        # Static goodput + churn carried load: the cross-cell fairness
+        # basis (covers pure-churn cells whose static aggregate is 0).
+        "carried_mbps": carried,
+        "airtime_share": medium.cell_airtime_share(
+            net.index, cfg.duration_ns),
+        "frames_sent": stats["frames_sent"],
+        "frames_collided": stats["frames_collided"],
+        "fct": fct,
+        "udp_background_goodput_mbps": {
+            name: background_mbps[name]
+            for name in net.background_names
+            if name in background_mbps},
+    }

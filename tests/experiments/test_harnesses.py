@@ -123,4 +123,5 @@ class TestRunner:
     def test_experiment_registry_complete(self):
         assert set(runner.EXPERIMENTS) == {
             "fig01", "fig09", "table2", "table3", "crossval",
-            "fig10", "fig11", "fig12", "ablations", "fct_churn"}
+            "fig10", "fig11", "fig12", "ablations", "fct_churn",
+            "multi_ap"}

@@ -1,0 +1,100 @@
+"""multi_ap experiment harness: schema, acceptance, determinism.
+
+Acceptance criteria pinned here: the sweep runs green serially and
+with ``--jobs 2`` producing identical rows, and the 2-cell contended
+static cells carry strictly less per cell than the isolated
+single-cell baseline (for both schemes).
+"""
+
+import pytest
+
+from repro.experiments import multi_ap, runner
+from repro.experiments.batch import SweepRunner
+
+SCHEMA = {"figure", "workload", "cells", "scheme", "combined_mbps",
+          "per_cell_mbps", "cell_jain", "airtime_sum",
+          "collision_frac", "utilisation", "flows_completed",
+          "fct_p50_ms"}
+
+
+@pytest.fixture(scope="module")
+def quick_rows(sweep_cache_runner):
+    return multi_ap.run(quick=True, runner=sweep_cache_runner)
+
+
+class TestHarness:
+    def test_registered_with_runner(self):
+        assert runner.EXPERIMENTS["multi_ap"] is multi_ap
+
+    def test_sweep_spec_shape(self):
+        spec = multi_ap.sweep_spec(quick=True)
+        assert spec.name == "multi_ap"
+        # workloads x cell counts x schemes x one quick seed
+        assert len(spec) == 2 * 3 * 2
+        cells = {p.config.cells for p in spec.points}
+        assert cells == {1, 2, 3}
+        assert all(p.config.n_clients == multi_ap.CLIENTS_PER_CELL
+                   for p in spec.points)
+
+    def test_row_schema(self, quick_rows):
+        assert len(quick_rows) == 12
+        for row in quick_rows:
+            assert set(row) == SCHEMA
+
+    def test_contended_cells_below_isolated_baseline(self, quick_rows):
+        """The PR's acceptance criterion, at the sweep level."""
+        static = {(r["cells"], r["scheme"]): r for r in quick_rows
+                  if r["workload"] == "static"}
+        for scheme, _policy in multi_ap.SCHEMES:
+            isolated = static[(1, scheme)]["per_cell_mbps"]
+            assert isolated > 0
+            for cells in (2, 3):
+                contended = static[(cells, scheme)]["per_cell_mbps"]
+                assert 0 < contended < isolated, (scheme, cells)
+
+    def test_airtime_and_fairness_bounds(self, quick_rows):
+        for row in quick_rows:
+            assert 0 < row["airtime_sum"] <= 1.0, row
+            assert 0 < row["cell_jain"] <= 1.0, row
+            assert 0 <= row["collision_frac"] < 1.0, row
+            assert row["utilisation"] >= \
+                row["airtime_sum"] / row["cells"]
+
+    def test_churn_rows_have_completions(self, quick_rows):
+        for row in quick_rows:
+            if row["workload"] == "churn":
+                assert row["flows_completed"] > 0
+                assert row["fct_p50_ms"] > 0
+            else:
+                assert row["flows_completed"] is None
+                assert row["fct_p50_ms"] is None
+
+    def test_multi_cell_collides_more(self, quick_rows):
+        by_cells = {
+            r["cells"]: r["collision_frac"] for r in quick_rows
+            if r["workload"] == "static"
+            and r["scheme"] == "TCP/HACK More Data"}
+        assert by_cells[2] > by_cells[1]
+
+    def test_rows_deterministic(self, quick_rows, sweep_cache_runner):
+        again = multi_ap.run(quick=True, runner=sweep_cache_runner)
+        assert quick_rows == again
+
+    def test_parallel_rows_identical_to_serial(self, quick_rows):
+        """Serial vs --jobs 2, trimmed to the 2-cell slice so the
+        uncached parallel pass stays CI-sized."""
+        kwargs = dict(quick=True, cell_counts=(1, 2),
+                      workloads=("static",))
+        serial = multi_ap.run(**kwargs, runner=SweepRunner())
+        parallel = multi_ap.run(**kwargs, runner=SweepRunner(jobs=2))
+        assert serial == parallel
+        trimmed = [r for r in quick_rows
+                   if r["workload"] == "static" and r["cells"] in (1, 2)]
+        assert serial == trimmed
+
+    def test_format_rows_renders(self, quick_rows):
+        text = multi_ap.format_rows(quick_rows)
+        assert "Multi-AP overlapping cells" in text
+        assert "airtime sum" in text
+        assert "a second co-channel cell costs" in text
+        assert "stretches p50 FCT" in text

@@ -3,8 +3,8 @@
 import pytest
 
 from repro.sim.units import MS, SEC
-from repro.stats.fct import FctCollector, FctRecord, percentile, \
-    size_bin_label
+from repro.stats.fct import FctCollector, FctRecord, \
+    has_completions, percentile, size_bin_label
 
 
 class TestPercentile:
@@ -104,7 +104,11 @@ class TestCollector:
     def test_empty_collector(self):
         summary = FctCollector().summary(1 * SEC)
         assert summary["flows_spawned"] == 0
-        assert summary["fct_ms"] is None
+        # Zero completions yield the explicit zero-count block, never
+        # a silently missing distribution.
+        assert summary["fct_ms"]["flows"] == 0
+        assert summary["fct_ms"]["p50"] is None
+        assert not has_completions(summary["fct_ms"])
         assert summary["fct_by_size_ms"] == {}
         assert summary["offered_load_mbps"] == 0.0
 
