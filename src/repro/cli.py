@@ -28,8 +28,10 @@ from typing import List, Optional
 
 from .core.policies import HackPolicy
 from .experiments import runner as experiments_runner
-from .experiments.batch import SweepResult
+from .experiments.batch import SweepCache, SweepInterrupted, \
+    SweepResult
 from .experiments.common import format_table
+from .experiments.progress import format_status, sweep_status
 from .sim.units import MS, SEC, usec
 from .stats.fct import has_completions
 from .workloads import registry
@@ -117,6 +119,11 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="seeds per scenario sweep (default 5, "
                             "--quick forces 1; experiments use their "
                             "own seed policy)")
+    sweep.add_argument("--status", action="store_true",
+                       help="run nothing: audit --cache-dir against "
+                            "the named sweeps and report which cells "
+                            "are complete/missing/failed/corrupt "
+                            "(exit 0 when complete, 3 otherwise)")
     return parser
 
 
@@ -280,36 +287,87 @@ def _sweep(args: argparse.Namespace) -> int:
 
     experiment_names = list(dict.fromkeys(experiment_names))
     scenario_names = list(dict.fromkeys(scenario_names))
+
+    def scenario_seeds() -> tuple:
+        # --quick keeps its runner meaning for scenarios: one seed
+        # (scenario durations come from the registry, not --quick).
+        return (1,) if args.quick else tuple(range(1, args.seeds + 1))
+
+    def build_spec(name: str, scenario: bool = False):
+        if scenario:
+            spec = registry.sweep_spec(name, scenario_seeds())
+        else:
+            spec = experiments_runner.EXPERIMENTS[name].sweep_spec(
+                quick=args.quick)
+        return experiments_runner.apply_stream_stats(spec, args)
+
+    if args.status:
+        return _sweep_status(args, experiment_names, scenario_names,
+                             build_spec)
+
     sweep_runner = experiments_runner.make_runner(args)
     artifacts = {}
+    exit_code = 0
     for name in experiment_names:
         module = experiments_runner.EXPERIMENTS[name]
         started = time.time()
-        result = sweep_runner.run(experiments_runner.apply_stream_stats(
-            module.sweep_spec(quick=args.quick), args))
-        rows = module.rows_from_sweep(result)
+        try:
+            result = sweep_runner.run(build_spec(name))
+        except SweepInterrupted as stop:
+            return experiments_runner.handle_interrupt(
+                name, stop, artifacts, args.out)
         elapsed = time.time() - started
-        print(module.format_rows(rows))
+        experiments_runner.print_rows_or_failure_note(
+            name, module, result)
         print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "
-              f"({result.executed} run, {result.cache_hits} cached)]\n")
+              f"({result.executed} run, {result.cache_hits} cached, "
+              f"{result.failed} failed)]\n")
+        if result.failed:
+            experiments_runner.report_failures(name, result)
+            exit_code = 1
         artifacts[name] = result.to_json_dict()
     for name in scenario_names:
-        # --quick keeps its runner meaning for scenarios: one seed
-        # (scenario durations come from the registry, not --quick).
-        seeds = (1,) if args.quick else \
-            tuple(range(1, args.seeds + 1))
         started = time.time()
-        result = sweep_runner.run(experiments_runner.apply_stream_stats(
-            registry.sweep_spec(name, seeds), args))
+        try:
+            result = sweep_runner.run(build_spec(name, scenario=True))
+        except SweepInterrupted as stop:
+            return experiments_runner.handle_interrupt(
+                f"{SCENARIO_PREFIX}{name}", stop, artifacts, args.out)
         elapsed = time.time() - started
-        _print_scenario_sweep(name, result)
+        if result.failed:
+            experiments_runner.report_failures(name, result)
+            exit_code = 1
+        else:
+            _print_scenario_sweep(name, result)
         print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "
-              f"({result.executed} run, {result.cache_hits} cached)]\n")
+              f"({result.executed} run, {result.cache_hits} cached, "
+              f"{result.failed} failed)]\n")
         artifacts[f"{SCENARIO_PREFIX}{name}"] = result.to_json_dict()
     if args.out:
         experiments_runner.write_artifacts(args.out, artifacts)
         print(f"wrote sweep records to {args.out}")
-    return 0
+    return exit_code
+
+
+def _sweep_status(args: argparse.Namespace,
+                  experiment_names: List[str],
+                  scenario_names: List[str], build_spec) -> int:
+    """``repro sweep --status``: audit the cache, simulate nothing."""
+    if args.no_cache:
+        print("error: --status needs a cache directory "
+              "(drop --no-cache)", file=sys.stderr)
+        return 2
+    cache = SweepCache(args.cache_dir)
+    all_complete = True
+    for name in experiment_names:
+        status = sweep_status(build_spec(name), cache)
+        print(format_status(status) + "\n")
+        all_complete = all_complete and status.complete
+    for name in scenario_names:
+        status = sweep_status(build_spec(name, scenario=True), cache)
+        print(format_status(status) + "\n")
+        all_complete = all_complete and status.complete
+    return 0 if all_complete else 3
 
 
 def main(argv: Optional[List[str]] = None) -> int:

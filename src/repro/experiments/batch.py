@@ -14,11 +14,25 @@ and executable in parallel:
   bit-identical to the historical per-module loops) or fanned out
   across processes via :class:`concurrent.futures.ProcessPoolExecutor`
   (``jobs=N``).  Identical seeds produce identical metrics either way.
+  Execution is *incremental and fault-isolated*: every point's metrics
+  are checkpointed into the cache the moment that point completes, a
+  raising point becomes a first-class error record instead of aborting
+  the sweep (``retries=N`` re-runs transient failures with backoff),
+  and SIGINT/SIGTERM interrupt gracefully — completed work is flushed
+  and :class:`SweepInterrupted` carries the partial result.
 * :class:`SweepCache` — content-hash cache: each point is keyed by a
   SHA-256 over its canonical JSON description, so re-running a sweep
-  whose cells did not change costs nothing.
-* :class:`SweepResult` — per-point metric records plus per-cell
-  mean/stdev aggregation, persistable to/reloadable from JSON.
+  whose cells did not change costs nothing.  Because the runner
+  checkpoints per point, *any* killed grid is resumable from its cache
+  by construction.  Corrupt entries are quarantined (counted, moved
+  aside) rather than silently re-missed forever; failures leave
+  ``<signature>.error.json`` breadcrumbs that ``repro sweep --status``
+  reports and a successful re-run clears.
+* :class:`SweepResult` — per-point metric *and error* records plus
+  per-cell mean/stdev aggregation, persistable to/reloadable from JSON
+  (artifact ``version`` 2; version-1 artifacts still load, artifacts
+  from a different ``ENGINE_VERSION`` are rejected unless
+  ``allow_stale=True``).
 
 Workers rebuild the whole simulation from the (picklable) config, so
 nothing stateful crosses process boundaries except plain dicts.
@@ -30,10 +44,16 @@ import dataclasses
 import enum
 import hashlib
 import importlib
+import itertools
 import json
 import os
+import signal
 import statistics
-from concurrent.futures import ProcessPoolExecutor
+import threading
+import time
+import traceback as traceback_module
+from concurrent.futures import FIRST_COMPLETED, BrokenExecutor, \
+    ProcessPoolExecutor, wait
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Iterable, List, Mapping, \
@@ -41,10 +61,17 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, \
 
 from ..workloads.scenarios import ScenarioConfig, ScenarioResult, \
     run_scenario
+from .progress import SweepProgress
 
 #: Bump to invalidate every cached cell (simulator semantics changed).
 #: 2: lazy-backoff kernel + kernel_stats in every metrics record.
 ENGINE_VERSION = 2
+
+#: SweepResult artifact schema version.
+#: 2: per-record ``error`` payloads, ``failed`` count, ``interrupted``
+#: flag (incremental/fault-isolated runner).  Version-1 artifacts are
+#: still readable.
+RESULT_VERSION = 2
 
 Key = Tuple[Any, ...]
 Metrics = Dict[str, Any]
@@ -165,7 +192,9 @@ class SweepSpec:
 
         ``axes`` maps :class:`ScenarioConfig` field names to the values
         to sweep; each cell's key is the tuple of axis values in axis
-        order.  Heterogeneous sweeps should use :meth:`add_scenario`.
+        order.  Axis values override any same-named field in ``base``
+        (and the per-point ``seed`` overrides both).  Heterogeneous
+        sweeps should use :meth:`add_scenario`.
         """
         spec = cls(name)
         assignments: List[Dict[str, Any]] = [{}]
@@ -175,8 +204,10 @@ class SweepSpec:
         for assignment in assignments:
             key = tuple(assignment[f] for f in axes)
             for seed in seeds:
-                spec.add_scenario(key, ScenarioConfig(
-                    **dict(base), **assignment, seed=seed))
+                params = dict(base)
+                params.update(assignment)
+                params["seed"] = seed
+                spec.add_scenario(key, ScenarioConfig(**params))
         return spec
 
 
@@ -212,33 +243,117 @@ def execute_point(point: SweepPoint) -> Metrics:
 # Cache
 # ----------------------------------------------------------------------
 class SweepCache:
-    """Content-addressed store of per-point metrics on disk."""
+    """Content-addressed store of per-point metrics on disk.
+
+    Layout per point signature:
+
+    * ``<signature>.json`` — the point's metrics dict (a hit);
+    * ``<signature>.error.json`` — breadcrumb left by a *failed*
+      execution (never loaded as metrics — the point is re-executed on
+      the next run — but surfaced by ``repro sweep --status``);
+    * ``<signature>.json.corrupt`` — a quarantined entry that existed
+      but did not parse as a JSON dict (counted in ``corrupt``, moved
+      aside so it cannot mask the cell as a plain miss forever).
+
+    Writes stage through a name unique per process *and* per call, so
+    several runners sharing one cache directory never interleave or
+    race ``os.replace``.
+    """
+
+    _staging_counter = itertools.count()
 
     def __init__(self, directory: Union[str, Path]):
         self.directory = Path(directory)
         self.hits = 0
         self.misses = 0
+        self.corrupt = 0
 
     def _path(self, signature: str) -> Path:
         return self.directory / f"{signature}.json"
+
+    def _error_path(self, signature: str) -> Path:
+        return self.directory / f"{signature}.error.json"
+
+    def _staging_path(self, signature: str) -> Path:
+        """A collision-proof temp name: pid + per-process counter."""
+        serial = next(self._staging_counter)
+        return self.directory / \
+            f"{signature}.{os.getpid()}.{serial}.tmp"
+
+    def _quarantine(self, path: Path) -> None:
+        self.corrupt += 1
+        try:
+            os.replace(path, path.with_name(path.name + ".corrupt"))
+        except OSError:  # pragma: no cover - racing cleanup is fine
+            pass
 
     def load(self, signature: str) -> Optional[Metrics]:
         path = self._path(signature)
         try:
             with open(path) as handle:
                 metrics = json.load(handle)
-        except (OSError, ValueError):
+        except OSError:
+            self.misses += 1
+            return None
+        except ValueError:
+            # Truncated/corrupt JSON (e.g. a killed pre-atomic-write
+            # run): quarantine instead of re-missing forever.
+            self._quarantine(path)
+            self.misses += 1
+            return None
+        if not isinstance(metrics, dict):
+            self._quarantine(path)
             self.misses += 1
             return None
         self.hits += 1
         return metrics
 
-    def store(self, signature: str, metrics: Metrics) -> None:
+    def _write(self, path: Path, signature: str, payload: Any) -> None:
         self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = self._path(signature).with_suffix(".tmp")
+        tmp = self._staging_path(signature)
         with open(tmp, "w") as handle:
-            json.dump(metrics, handle)
-        os.replace(tmp, self._path(signature))
+            json.dump(payload, handle)
+        os.replace(tmp, path)
+
+    def store(self, signature: str, metrics: Metrics) -> None:
+        self._write(self._path(signature), signature, metrics)
+        self.clear_failure(signature)
+
+    def store_failure(self, signature: str,
+                      error: Dict[str, Any]) -> None:
+        """Record a point's failure (status breadcrumb, not a hit)."""
+        self._write(self._error_path(signature), signature, error)
+
+    def load_failure(self, signature: str) -> Optional[Dict[str, Any]]:
+        try:
+            with open(self._error_path(signature)) as handle:
+                payload = json.load(handle)
+        except (OSError, ValueError):
+            return None
+        return payload if isinstance(payload, dict) else None
+
+    def clear_failure(self, signature: str) -> None:
+        try:
+            os.remove(self._error_path(signature))
+        except OSError:
+            pass
+
+    def probe(self, signature: str) -> str:
+        """Non-mutating status check: ``complete`` / ``failed`` /
+        ``missing`` / ``corrupt`` (no counters touched, no files
+        moved — this is what ``repro sweep --status`` runs)."""
+        path = self._path(signature)
+        if path.exists():
+            try:
+                with open(path) as handle:
+                    payload = json.load(handle)
+            except (OSError, ValueError):
+                return "corrupt"
+            return "complete" if isinstance(payload, dict) \
+                else "corrupt"
+        if self._error_path(signature).exists():
+            return "failed"
+        return "missing"
 
 
 # ----------------------------------------------------------------------
@@ -246,13 +361,23 @@ class SweepCache:
 # ----------------------------------------------------------------------
 @dataclass
 class SweepRecord:
-    """Metrics for one executed (or cache-restored) point."""
+    """One point's outcome: metrics, or a first-class error.
+
+    ``metrics`` is ``None`` exactly when ``error`` is set; a failed
+    point records the exception (type, message, traceback, attempt
+    count) instead of aborting the sweep.
+    """
 
     key: Key
     seed: Optional[int]
     signature: str
-    metrics: Metrics
+    metrics: Optional[Metrics]
     cached: bool = False
+    error: Optional[Dict[str, Any]] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 MetricSpec = Union[str, Callable[[Metrics], float]]
@@ -273,14 +398,30 @@ def mean_stdev(values: Sequence[float]) -> Dict[str, float]:
     }
 
 
+class StaleArtifactError(ValueError):
+    """A sweep artifact was written under a different ENGINE_VERSION.
+
+    Mixing its rows with fresh ones would mix simulator semantics;
+    pass ``allow_stale=True`` to load it anyway.
+    """
+
+
 @dataclass
 class SweepResult:
-    """All records of one sweep plus aggregation and (de)serialisation."""
+    """All records of one sweep plus aggregation and (de)serialisation.
+
+    ``interrupted`` marks a *partial* artifact: the sweep was stopped
+    by SIGINT/SIGTERM after flushing completed work, and points that
+    never started have no record at all.  ``failed`` counts points
+    whose record carries an ``error`` instead of metrics.
+    """
 
     spec_name: str
     records: List[SweepRecord] = field(default_factory=list)
     executed: int = 0
     cache_hits: int = 0
+    failed: int = 0
+    interrupted: bool = False
 
     def keys(self) -> List[Key]:
         seen: Dict[Key, None] = {}
@@ -293,7 +434,11 @@ class SweepResult:
         return [r for r in self.records if r.key == key]
 
     def metrics_for(self, key: Key) -> List[Metrics]:
-        return [r.metrics for r in self.records_for(key)]
+        """Successful records' metrics only (failures carry none)."""
+        return [r.metrics for r in self.records_for(key) if r.ok]
+
+    def failures(self) -> List[SweepRecord]:
+        return [r for r in self.records if not r.ok]
 
     def values(self, key: Key, metric: MetricSpec) -> List[float]:
         return [_metric_value(m, metric) for m in self.metrics_for(key)]
@@ -316,31 +461,58 @@ class SweepResult:
     def to_json_dict(self) -> Dict[str, Any]:
         return {
             "format": "repro-sweep-result",
-            "version": 1,
+            "version": RESULT_VERSION,
             "engine": ENGINE_VERSION,
             "spec": self.spec_name,
             "executed": self.executed,
             "cache_hits": self.cache_hits,
+            "failed": self.failed,
+            "interrupted": self.interrupted,
             "records": [
                 {"key": list(r.key), "seed": r.seed,
                  "signature": r.signature, "cached": r.cached,
-                 "metrics": r.metrics}
+                 "metrics": r.metrics, "error": r.error}
                 for r in self.records],
         }
 
     @classmethod
-    def from_json_dict(cls, payload: Mapping[str, Any]) -> "SweepResult":
+    def from_json_dict(cls, payload: Mapping[str, Any],
+                       allow_stale: bool = False) -> "SweepResult":
+        """Reload an artifact (version 1 and 2 schemas both read).
+
+        Raises :class:`StaleArtifactError` when the artifact's
+        ``engine`` differs from the running :data:`ENGINE_VERSION` —
+        its rows were produced under different simulator semantics and
+        must not silently mix with fresh ones.  ``allow_stale=True``
+        is the explicit escape hatch.
+        """
         if payload.get("format") != "repro-sweep-result":
             raise ValueError("not a sweep-result JSON document")
-        return cls(
+        version = payload.get("version", 1)
+        if version not in (1, RESULT_VERSION):
+            raise ValueError(
+                f"unknown sweep-result version {version!r} "
+                f"(this build reads 1..{RESULT_VERSION})")
+        engine = payload.get("engine")
+        if engine != ENGINE_VERSION and not allow_stale:
+            raise StaleArtifactError(
+                f"artifact was produced by engine version {engine!r}, "
+                f"this build is {ENGINE_VERSION}; its rows would mix "
+                f"incompatible simulator semantics (pass "
+                f"allow_stale=True to load anyway)")
+        result = cls(
             spec_name=payload["spec"],
             executed=payload.get("executed", 0),
             cache_hits=payload.get("cache_hits", 0),
+            failed=payload.get("failed", 0),
+            interrupted=payload.get("interrupted", False),
             records=[SweepRecord(
                 key=tuple(r["key"]), seed=r.get("seed"),
                 signature=r.get("signature", ""),
-                metrics=r["metrics"], cached=r.get("cached", False))
+                metrics=r["metrics"], cached=r.get("cached", False),
+                error=r.get("error"))
                 for r in payload["records"]])
+        return result
 
     def save(self, path: Union[str, Path]) -> None:
         path = Path(path)
@@ -350,14 +522,73 @@ class SweepResult:
             json.dump(self.to_json_dict(), handle, indent=1)
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "SweepResult":
+    def load(cls, path: Union[str, Path],
+             allow_stale: bool = False) -> "SweepResult":
         with open(path) as handle:
-            return cls.from_json_dict(json.load(handle))
+            return cls.from_json_dict(json.load(handle),
+                                      allow_stale=allow_stale)
 
 
 # ----------------------------------------------------------------------
 # Runner
 # ----------------------------------------------------------------------
+class SweepInterrupted(RuntimeError):
+    """The sweep was stopped by SIGINT/SIGTERM.
+
+    Completed work was flushed (and cached, when a cache is
+    configured); ``result`` is the partial :class:`SweepResult` with
+    ``interrupted=True``, ``signum`` the signal that stopped it.
+    """
+
+    def __init__(self, result: SweepResult,
+                 signum: Optional[int] = None):
+        done = result.executed + result.cache_hits
+        super().__init__(
+            f"sweep {result.spec_name!r} interrupted"
+            f"{f' by signal {signum}' if signum else ''}: "
+            f"{done} points completed, {result.failed} failed")
+        self.result = result
+        self.signum = signum
+
+
+def error_payload(exc: BaseException, attempts: int) -> Dict[str, Any]:
+    """JSON-able description of a point failure (the record's error)."""
+    return {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(traceback_module.format_exception(
+            type(exc), exc, exc.__traceback__)),
+        "attempts": attempts,
+    }
+
+
+class _RunState:
+    """Mutable bookkeeping for one ``SweepRunner.run`` invocation."""
+
+    def __init__(self, spec: SweepSpec, signatures: List[str]):
+        self.spec = spec
+        self.signatures = signatures
+        self.metrics_by_index: Dict[int, Metrics] = {}
+        self.cached: Dict[int, bool] = {}
+        self.errors_by_index: Dict[int, Dict[str, Any]] = {}
+        self.started = time.perf_counter()
+
+    @property
+    def executed(self) -> int:
+        return sum(1 for i, flag in self.cached.items() if not flag)
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for flag in self.cached.values() if flag)
+
+    def progress(self) -> SweepProgress:
+        return SweepProgress(
+            spec_name=self.spec.name, total=len(self.spec.points),
+            executed=self.executed, cached=self.cache_hits,
+            failed=len(self.errors_by_index),
+            elapsed_s=time.perf_counter() - self.started)
+
+
 class SweepRunner:
     """Executes :class:`SweepSpec`\\ s, optionally in parallel + cached.
 
@@ -366,53 +597,230 @@ class SweepRunner:
     one worker per CPU.  Results are ordered by spec point order
     regardless of completion order, so aggregates are identical across
     all execution modes.
+
+    Completion is incremental and fault-isolated:
+
+    * every point's metrics are checkpointed into the cache *the
+      moment it completes* — a killed run resumes from its cache;
+    * a raising point becomes an error record (``SweepRecord.error``)
+      and the sweep keeps going; ``retries=N`` re-runs a failing point
+      up to N extra times (serial retries back off
+      ``retry_backoff_s * attempt``; a broken worker pool is rebuilt
+      after the same backoff and counts one attempt against every
+      point it took down);
+    * SIGINT/SIGTERM stop the sweep gracefully: in-flight results are
+      flushed and :class:`SweepInterrupted` carries the partial
+      result (a second SIGINT raises ``KeyboardInterrupt``
+      immediately);
+    * ``progress`` (any callable accepting a
+      :class:`repro.experiments.progress.SweepProgress`) is invoked
+      after the cache scan and after every point resolves.
     """
 
     def __init__(self, jobs: Optional[int] = None,
-                 cache_dir: Optional[Union[str, Path]] = None):
+                 cache_dir: Optional[Union[str, Path]] = None,
+                 retries: int = 0,
+                 retry_backoff_s: float = 0.5,
+                 progress: Optional[
+                     Callable[[SweepProgress], None]] = None):
         if jobs is not None and jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
         self.cache = SweepCache(cache_dir) if cache_dir else None
+        self.retries = max(0, retries)
+        self.retry_backoff_s = retry_backoff_s
+        self.progress = progress
+        self._stop_signal: Optional[int] = None
 
+    # -- interruption --------------------------------------------------
+    def _request_stop(self, signum: int, _frame: Any) -> None:
+        if self._stop_signal is not None and signum == signal.SIGINT:
+            raise KeyboardInterrupt
+        self._stop_signal = signum
+
+    def _trap_signals(self) -> List[Tuple[int, Any]]:
+        """Install graceful-stop handlers; no-op off the main thread."""
+        if threading.current_thread() is not threading.main_thread():
+            return []
+        previous = []
+        for signum in (signal.SIGINT, signal.SIGTERM):
+            try:
+                previous.append(
+                    (signum, signal.signal(signum,
+                                           self._request_stop)))
+            except (ValueError, OSError):  # pragma: no cover
+                pass
+        return previous
+
+    @staticmethod
+    def _restore_signals(previous: List[Tuple[int, Any]]) -> None:
+        for signum, handler in previous:
+            signal.signal(signum, handler)
+
+    # -- bookkeeping ---------------------------------------------------
+    def _emit_progress(self, state: _RunState) -> None:
+        if self.progress is not None:
+            self.progress(state.progress())
+
+    def _note_success(self, state: _RunState, index: int,
+                      metrics: Metrics) -> None:
+        # JSON-normalise so serial, parallel and cache-restored runs
+        # expose byte-identical metric structures.
+        metrics = json.loads(_canonical_json(metrics))
+        state.metrics_by_index[index] = metrics
+        state.cached[index] = False
+        if self.cache is not None:
+            # The checkpoint: flushed the moment the point completes,
+            # which is what makes any killed grid resumable.
+            self.cache.store(state.signatures[index], metrics)
+        self._emit_progress(state)
+
+    def _note_failure(self, state: _RunState, index: int,
+                      error: Dict[str, Any]) -> None:
+        state.errors_by_index[index] = error
+        if self.cache is not None:
+            self.cache.store_failure(state.signatures[index], error)
+        self._emit_progress(state)
+
+    # -- execution paths -----------------------------------------------
+    def _run_serial(self, state: _RunState,
+                    pending: List[int]) -> None:
+        for index in pending:
+            if self._stop_signal is not None:
+                return
+            point = state.spec.points[index]
+            last_error: Optional[BaseException] = None
+            for attempt in range(1, self.retries + 2):
+                if attempt > 1:
+                    time.sleep(self.retry_backoff_s * (attempt - 1))
+                try:
+                    metrics = execute_point(point)
+                except Exception as exc:
+                    last_error = exc
+                    if self._stop_signal is not None:
+                        break
+                else:
+                    self._note_success(state, index, metrics)
+                    last_error = None
+                    break
+            if last_error is not None:
+                self._note_failure(
+                    state, index,
+                    error_payload(last_error, self.retries + 1))
+
+    def _run_parallel(self, state: _RunState,
+                      pending: List[int]) -> None:
+        attempts = {index: 0 for index in pending}
+        pool = ProcessPoolExecutor(max_workers=self.jobs)
+        futures: Dict[Any, int] = {}
+
+        def submit(index: int) -> None:
+            attempts[index] += 1
+            futures[pool.submit(execute_point,
+                                state.spec.points[index])] = index
+
+        try:
+            for index in pending:
+                submit(index)
+            while futures and self._stop_signal is None:
+                done, _ = wait(list(futures), timeout=0.1,
+                               return_when=FIRST_COMPLETED)
+                if self._stop_signal is not None:
+                    return
+                retry_queue: List[int] = []
+                pool_broken = False
+                for future in done:
+                    index = futures.pop(future)
+                    try:
+                        metrics = future.result()
+                    except BrokenExecutor as exc:
+                        # A worker died and took the pool with it:
+                        # every outstanding future is poisoned.
+                        pool_broken = True
+                        self._resolve_failure(state, attempts, index,
+                                              exc, retry_queue)
+                    except Exception as exc:
+                        self._resolve_failure(state, attempts, index,
+                                              exc, retry_queue)
+                    else:
+                        self._note_success(state, index, metrics)
+                if pool_broken:
+                    for future, index in list(futures.items()):
+                        del futures[future]
+                        self._resolve_failure(
+                            state, attempts, index,
+                            BrokenExecutor(
+                                "worker pool died mid-sweep"),
+                            retry_queue)
+                    pool.shutdown(wait=False)
+                    if retry_queue:
+                        time.sleep(self.retry_backoff_s)
+                    pool = ProcessPoolExecutor(max_workers=self.jobs)
+                for index in retry_queue:
+                    submit(index)
+        finally:
+            try:
+                pool.shutdown(wait=self._stop_signal is None,
+                              cancel_futures=True)
+            except Exception:  # pragma: no cover - already broken
+                pass
+
+    def _resolve_failure(self, state: _RunState,
+                         attempts: Dict[int, int], index: int,
+                         exc: BaseException,
+                         retry_queue: List[int]) -> None:
+        if attempts[index] <= self.retries:
+            retry_queue.append(index)
+        else:
+            self._note_failure(state, index,
+                               error_payload(exc, attempts[index]))
+
+    # -- entry point ---------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
-        result = SweepResult(spec_name=spec.name)
         signatures = [point_signature(p) for p in spec.points]
-        metrics_by_index: Dict[int, Metrics] = {}
-        cached_flags: Dict[int, bool] = {}
+        state = _RunState(spec, signatures)
 
         pending: List[int] = []
         for index, signature in enumerate(signatures):
             cached = self.cache.load(signature) if self.cache else None
             if cached is not None:
-                metrics_by_index[index] = cached
-                cached_flags[index] = True
-                result.cache_hits += 1
+                state.metrics_by_index[index] = cached
+                state.cached[index] = True
             else:
                 pending.append(index)
+        self._emit_progress(state)
 
-        if pending:
-            todo = [spec.points[i] for i in pending]
-            if self.jobs is not None and self.jobs > 1:
-                with ProcessPoolExecutor(
-                        max_workers=self.jobs) as pool:
-                    outputs = list(pool.map(execute_point, todo))
-            else:
-                outputs = [execute_point(point) for point in todo]
-            for index, metrics in zip(pending, outputs):
-                # JSON-normalise so serial, parallel and cache-restored
-                # runs expose byte-identical metric structures.
-                metrics = json.loads(_canonical_json(metrics))
-                metrics_by_index[index] = metrics
-                cached_flags[index] = False
-                result.executed += 1
-                if self.cache is not None:
-                    self.cache.store(signatures[index], metrics)
+        self._stop_signal = None
+        previous_handlers = self._trap_signals()
+        try:
+            if pending:
+                if self.jobs is not None and self.jobs > 1:
+                    self._run_parallel(state, pending)
+                else:
+                    self._run_serial(state, pending)
+        finally:
+            self._restore_signals(previous_handlers)
 
+        interrupted = self._stop_signal is not None
+        result = SweepResult(spec_name=spec.name,
+                             executed=state.executed,
+                             cache_hits=state.cache_hits,
+                             failed=len(state.errors_by_index),
+                             interrupted=interrupted)
         for index, point in enumerate(spec.points):
-            result.records.append(SweepRecord(
-                key=point.key, seed=point.seed,
-                signature=signatures[index],
-                metrics=metrics_by_index[index],
-                cached=cached_flags[index]))
+            if index in state.metrics_by_index:
+                result.records.append(SweepRecord(
+                    key=point.key, seed=point.seed,
+                    signature=signatures[index],
+                    metrics=state.metrics_by_index[index],
+                    cached=state.cached[index]))
+            elif index in state.errors_by_index:
+                result.records.append(SweepRecord(
+                    key=point.key, seed=point.seed,
+                    signature=signatures[index], metrics=None,
+                    error=state.errors_by_index[index]))
+            # else: interrupted before this point started — a partial
+            # result simply has no record for it.
+        if interrupted:
+            raise SweepInterrupted(result, self._stop_signal)
         return result

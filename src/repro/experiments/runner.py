@@ -18,13 +18,15 @@ from __future__ import annotations
 
 import argparse
 import json
+import signal
 import sys
 import time
 from pathlib import Path
 
 from . import ablations, crossval, fct_churn, fig01, fig09, fig10, \
     fig11, fig12, multi_ap, table2, table3
-from .batch import SweepRunner
+from .batch import SweepInterrupted, SweepResult, SweepRunner
+from .progress import ProgressReporter
 
 EXPERIMENTS = {
     "fig01": fig01,
@@ -57,6 +59,13 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                              f"(default: {DEFAULT_CACHE_DIR})")
     parser.add_argument("--no-cache", action="store_true",
                         help="always re-simulate, ignore the cache")
+    parser.add_argument("--retries", type=int, default=0, metavar="N",
+                        help="re-run a failing point up to N extra "
+                             "times with backoff (transient worker "
+                             "deaths; default 0)")
+    parser.add_argument("--progress", action="store_true",
+                        help="live progress lines on stderr (points "
+                             "done/cached/failed, points/s, ETA)")
     parser.add_argument("--stream-stats", action="store_true",
                         help="bounded-memory streaming FCT "
                              "aggregation per cell (peak FCT-record "
@@ -74,7 +83,11 @@ def apply_stream_stats(spec, args: argparse.Namespace):
 
 def make_runner(args: argparse.Namespace) -> SweepRunner:
     cache_dir = None if args.no_cache else args.cache_dir
-    return SweepRunner(jobs=args.jobs, cache_dir=cache_dir)
+    progress = ProgressReporter() if getattr(args, "progress", False) \
+        else None
+    return SweepRunner(jobs=args.jobs, cache_dir=cache_dir,
+                       retries=getattr(args, "retries", 0),
+                       progress=progress)
 
 
 def write_artifacts(path: str, artifacts: dict) -> None:
@@ -83,6 +96,49 @@ def write_artifacts(path: str, artifacts: dict) -> None:
         parent.mkdir(parents=True, exist_ok=True)
     with open(path, "w") as handle:
         json.dump(artifacts, handle, indent=1)
+
+
+def report_failures(name: str, result: SweepResult) -> None:
+    """Per-failure stderr lines (key, seed, error type, attempts)."""
+    for record in result.failures():
+        error = record.error or {}
+        print(f"[{name}] FAILED cell {record.key} seed {record.seed}: "
+              f"{error.get('type', '?')}: {error.get('message', '')} "
+              f"({error.get('attempts', 1)} attempt(s))",
+              file=sys.stderr)
+
+
+def print_rows_or_failure_note(name: str, module,
+                               result: SweepResult) -> None:
+    """Print the experiment table; failed cells may make the table
+    underivable, in which case say so instead of crashing."""
+    try:
+        rows = module.rows_from_sweep(result)
+    except Exception as exc:
+        if result.failed:
+            print(f"[{name}: table skipped — {result.failed} failed "
+                  f"point(s) left cells incomplete: {exc}]")
+            return
+        raise
+    print(module.format_rows(rows))
+
+
+def handle_interrupt(name: str, stop: SweepInterrupted,
+                     artifacts: dict, out: str) -> int:
+    """Shared SIGINT/SIGTERM epilogue: persist the partial artifact
+    (marked ``interrupted``) and return the conventional exit code."""
+    result = stop.result
+    artifacts[name] = result.to_json_dict()
+    done = result.executed + result.cache_hits
+    print(f"[{name}: interrupted — {done} points completed "
+          f"({result.executed} run, {result.cache_hits} cached, "
+          f"{result.failed} failed); completed work is in the cache]",
+          file=sys.stderr)
+    if out:
+        write_artifacts(out, artifacts)
+        print(f"wrote partial sweep records to {out}",
+              file=sys.stderr)
+    return 128 + (stop.signum or signal.SIGINT)
 
 
 def main(argv=None) -> int:
@@ -100,23 +156,29 @@ def main(argv=None) -> int:
         list(dict.fromkeys(args.experiments))
     sweep_runner = make_runner(args)
     artifacts = {}
+    exit_code = 0
     for name in names:
         module = EXPERIMENTS[name]
         started = time.time()
-        result = sweep_runner.run(apply_stream_stats(
-            module.sweep_spec(quick=args.quick), args))
-        rows = module.rows_from_sweep(result)
+        try:
+            result = sweep_runner.run(apply_stream_stats(
+                module.sweep_spec(quick=args.quick), args))
+        except SweepInterrupted as stop:
+            return handle_interrupt(name, stop, artifacts, args.out)
         elapsed = time.time() - started
-        print(module.format_rows(rows))
-        print(f"[{name}: {len(rows)} rows in {elapsed:.1f}s; "
-              f"{len(result.records)} cells "
-              f"({result.executed} run, {result.cache_hits} cached)]\n")
+        print_rows_or_failure_note(name, module, result)
+        print(f"[{name}: {len(result.records)} cells in {elapsed:.1f}s "
+              f"({result.executed} run, {result.cache_hits} cached, "
+              f"{result.failed} failed)]\n")
+        if result.failed:
+            report_failures(name, result)
+            exit_code = 1
         artifacts[name] = result.to_json_dict()
     if args.out:
         write_artifacts(args.out, artifacts)
         print(f"wrote sweep records for {', '.join(names)} "
               f"to {args.out}")
-    return 0
+    return exit_code
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -73,6 +73,20 @@ class TestSpec:
         assert point_signature(spec.points[0]) != \
             point_signature(overridden.points[0])
 
+    def test_grid_axis_overrides_base_field(self):
+        # Regression: an axis field that also appears in ``base`` used
+        # to raise "got multiple values for keyword argument".
+        spec = SweepSpec.grid(
+            "x", dict(FAST, n_clients=2), {"n_clients": [1, 2]},
+            seeds=(1,))
+        assert [p.config.n_clients for p in spec.points] == [1, 2]
+        assert spec.keys() == [(1,), (2,)]
+
+    def test_grid_seed_overrides_base_seed(self):
+        spec = SweepSpec.grid(
+            "x", dict(FAST, seed=99), {"n_clients": [1]}, seeds=(1, 2))
+        assert [p.config.seed for p in spec.points] == [1, 2]
+
 
 class TestSignatures:
     def test_stable_for_equal_configs(self):
@@ -161,8 +175,14 @@ class TestCache:
         SweepRunner(cache_dir=tmp_path).run(spec)
         for path in tmp_path.glob("*.json"):
             path.write_text("{not json")
-        result = SweepRunner(cache_dir=tmp_path).run(spec)
+        runner = SweepRunner(cache_dir=tmp_path)
+        result = runner.run(spec)
         assert result.executed == 2 and result.cache_hits == 0
+        assert runner.cache.corrupt == 2
+        # Quarantined, re-stored: the third run hits cleanly again.
+        assert len(list(tmp_path.glob("*.json.corrupt"))) == 2
+        third = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert third.cache_hits == 2 and third.executed == 0
 
     def test_parallel_run_populates_cache(self, tmp_path):
         spec = fast_spec(seeds=(1,))

@@ -1,0 +1,428 @@
+"""Incremental, fault-isolated, resumable sweep execution.
+
+Covers the runner rework end to end: per-point checkpointing (kill a
+runner mid-grid with SIGKILL, resume from its cache, rows bit-identical
+to an uninterrupted run), poisoned points recorded as first-class
+errors instead of aborting, retry-with-backoff for transient failures
+and worker-pool deaths, graceful SIGINT/SIGTERM interruption with a
+partial artifact, the cache's corruption quarantine and unique staging
+names, the v2 artifact schema, and the engine-version guard.
+"""
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import textwrap
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.batch import ENGINE_VERSION, RESULT_VERSION, \
+    StaleArtifactError, SweepCache, SweepInterrupted, SweepResult, \
+    SweepRunner, SweepSpec, point_signature
+from repro.sim.units import MS
+
+FAST = dict(duration_ns=400 * MS, warmup_ns=200 * MS, stagger_ns=0)
+
+
+def scenario_spec(seeds=(1, 2, 3)) -> SweepSpec:
+    return SweepSpec.grid("resume", FAST, {"n_clients": [1, 2]},
+                          seeds=seeds)
+
+
+def analytic_spec(n=3, **kwargs) -> SweepSpec:
+    spec = SweepSpec("analytic")
+    for i in range(n):
+        spec.add_analytic((i,), "tests.helpers:constant_metrics",
+                          value=float(i), **kwargs)
+    return spec
+
+
+def poisoned_spec() -> SweepSpec:
+    """Three points; the middle one always raises."""
+    spec = SweepSpec("poisoned")
+    spec.add_analytic((0,), "tests.helpers:constant_metrics", value=0.0)
+    spec.add_analytic((1,), "tests.helpers:raising_metrics_fn",
+                      message="poisoned cell")
+    spec.add_analytic((2,), "tests.helpers:constant_metrics", value=2.0)
+    return spec
+
+
+# ----------------------------------------------------------------------
+# Fault isolation: a raising point must not abort the sweep
+# ----------------------------------------------------------------------
+class TestPoisonedPoint:
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_other_points_complete_and_failure_is_recorded(
+            self, jobs, tmp_path):
+        runner = SweepRunner(jobs=jobs, cache_dir=tmp_path)
+        result = runner.run(poisoned_spec())
+        assert result.failed == 1
+        assert result.executed == 2
+        assert len(result.records) == 3
+
+        ok = [r for r in result.records if r.ok]
+        assert [r.metrics["value"] for r in ok] == [0.0, 2.0]
+
+        [failure] = result.failures()
+        assert failure.key == (1,)
+        assert failure.metrics is None
+        assert failure.error["type"] == "RuntimeError"
+        assert failure.error["message"] == "poisoned cell"
+        assert "RuntimeError" in failure.error["traceback"]
+        assert failure.error["attempts"] == 1
+
+    def test_failure_leaves_status_breadcrumb_not_a_hit(self, tmp_path):
+        runner = SweepRunner(cache_dir=tmp_path)
+        spec = poisoned_spec()
+        runner.run(spec)
+        sig = point_signature(spec.points[1])
+        cache = SweepCache(tmp_path)
+        assert cache.probe(sig) == "failed"
+        assert cache.load(sig) is None           # still re-executed
+        assert cache.load_failure(sig)["type"] == "RuntimeError"
+        # A rerun retries the poisoned point (and fails again) while
+        # the good points come from cache.
+        rerun = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert rerun.cache_hits == 2 and rerun.failed == 1
+
+    def test_success_clears_failure_breadcrumb(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store_failure("sig", {"type": "X"})
+        assert cache.probe("sig") == "failed"
+        cache.store("sig", {"v": 1})
+        assert cache.probe("sig") == "complete"
+        assert cache.load_failure("sig") is None
+
+    def test_metrics_for_skips_failures(self):
+        result = SweepRunner().run(poisoned_spec())
+        assert result.metrics_for((1,)) == []
+        with pytest.raises(KeyError):
+            result.cell((1,), "value")
+
+    def test_artifact_roundtrips_failures(self, tmp_path):
+        result = SweepRunner().run(poisoned_spec())
+        path = tmp_path / "artifact.json"
+        result.save(path)
+        loaded = SweepResult.load(path)
+        assert loaded.failed == 1
+        assert loaded.failures()[0].error["message"] == "poisoned cell"
+        assert loaded.failures()[0].metrics is None
+
+
+# ----------------------------------------------------------------------
+# Retries
+# ----------------------------------------------------------------------
+class TestRetries:
+    @pytest.mark.parametrize("jobs", [None, 2])
+    def test_transient_failure_succeeds_within_budget(
+            self, jobs, tmp_path):
+        spec = SweepSpec("flaky")
+        spec.add_analytic((0,), "tests.helpers:flaky_metrics_fn",
+                          counter_path=str(tmp_path / "count"),
+                          fail_times=2)
+        runner = SweepRunner(jobs=jobs, retries=2, retry_backoff_s=0.0)
+        result = runner.run(spec)
+        assert result.failed == 0 and result.executed == 1
+        assert result.records[0].metrics["calls"] == 3
+
+    def test_budget_exhausted_records_attempt_count(self, tmp_path):
+        spec = SweepSpec("flaky")
+        spec.add_analytic((0,), "tests.helpers:flaky_metrics_fn",
+                          counter_path=str(tmp_path / "count"),
+                          fail_times=5)
+        result = SweepRunner(retries=1, retry_backoff_s=0.0).run(spec)
+        assert result.failed == 1
+        assert result.failures()[0].error["attempts"] == 2
+        assert (tmp_path / "count").read_text() == "2"
+
+    def test_worker_death_fails_point_without_aborting(self, tmp_path):
+        # The dying point delays so the healthy points finish first;
+        # its death breaks the pool, which must be contained to it.
+        spec = analytic_spec(n=4)
+        spec.add_analytic(("die",), "tests.helpers:dying_worker_fn",
+                          delay_s=0.5)
+        runner = SweepRunner(jobs=2, retries=0, retry_backoff_s=0.0,
+                             cache_dir=tmp_path)
+        result = runner.run(spec)
+        assert result.executed == 4
+        assert result.failed == 1
+        [failure] = result.failures()
+        assert failure.key == ("die",)
+        assert "Broken" in failure.error["type"]
+
+    def test_worker_death_retried_on_rebuilt_pool(self, tmp_path):
+        spec = analytic_spec(n=2)
+        spec.add_analytic(("die-once",), "tests.helpers:dying_worker_fn",
+                          counter_path=str(tmp_path / "count"),
+                          die_times=1, delay_s=0.3)
+        runner = SweepRunner(jobs=2, retries=1, retry_backoff_s=0.0)
+        result = runner.run(spec)
+        assert result.failed == 0
+        assert result.executed == 3
+        record = result.records_for(("die-once",))[0]
+        assert record.metrics["calls"] == 2
+
+
+# ----------------------------------------------------------------------
+# Incremental checkpointing + kill/resume
+# ----------------------------------------------------------------------
+class TestIncrementalCheckpointing:
+    def test_serial_run_checkpoints_each_point_as_it_completes(
+            self, tmp_path):
+        spec = scenario_spec(seeds=(1,))
+        seen = []
+
+        class SpyCache(SweepCache):
+            def store(self, signature, metrics):
+                super().store(signature, metrics)
+                seen.append(len(list(
+                    Path(self.directory).glob("*.json"))))
+
+        runner = SweepRunner(cache_dir=tmp_path)
+        runner.cache = SpyCache(tmp_path)
+        runner.run(spec)
+        # After each of the two stores the directory held exactly that
+        # many entries: point N was on disk before point N+1 ran.
+        assert seen == [1, 2]
+
+    def test_sigkill_mid_grid_resumes_from_cache_bit_identical(
+            self, tmp_path):
+        """The acceptance-criteria test: SIGKILL a runner mid-flight,
+        rerun with the same cache dir, assert only unfinished cells
+        re-execute and the final rows match an uninterrupted run."""
+        cache_dir = tmp_path / "cache"
+        script = textwrap.dedent(f"""
+            from repro.experiments.batch import SweepRunner, SweepSpec
+            from repro.sim.units import MS
+            spec = SweepSpec.grid(
+                "resume",
+                dict(duration_ns=400 * MS, warmup_ns=200 * MS,
+                     stagger_ns=0),
+                {{"n_clients": [1, 2]}}, seeds=(1, 2, 3))
+            SweepRunner(cache_dir={str(cache_dir)!r}).run(spec)
+        """)
+        env = dict(os.environ)
+        root = Path(__file__).resolve().parents[2]
+        env["PYTHONPATH"] = os.pathsep.join(
+            [str(root / "src"), str(root),
+             env.get("PYTHONPATH", "")]).rstrip(os.pathsep)
+        proc = subprocess.Popen([sys.executable, "-c", script],
+                                env=env)
+        # Wait for the first checkpoint to land, then kill -9.
+        deadline = time.time() + 60
+        while time.time() < deadline:
+            if list(cache_dir.glob("*.json")):
+                break
+            if proc.poll() is not None:  # pragma: no cover - too fast
+                break
+            time.sleep(0.005)
+        proc.kill()
+        proc.wait(timeout=30)
+
+        checkpointed = len(list(cache_dir.glob("*.json")))
+        assert checkpointed >= 1, "no checkpoint before the kill"
+
+        spec = scenario_spec(seeds=(1, 2, 3))
+        resumed = SweepRunner(cache_dir=cache_dir).run(spec)
+        assert resumed.cache_hits >= 1
+        assert resumed.executed == len(spec) - resumed.cache_hits
+        assert resumed.failed == 0
+
+        fresh = SweepRunner().run(spec)
+        assert [r.metrics for r in resumed.records] == \
+            [r.metrics for r in fresh.records]
+        assert resumed.aggregate("aggregate_goodput_mbps") == \
+            fresh.aggregate("aggregate_goodput_mbps")
+
+
+# ----------------------------------------------------------------------
+# Graceful SIGINT/SIGTERM
+# ----------------------------------------------------------------------
+class TestGracefulInterrupt:
+    def _interrupt_after(self, n_executed, signum):
+        fired = []
+
+        def progress(snapshot):
+            if snapshot.executed >= n_executed and not fired:
+                fired.append(signum)
+                os.kill(os.getpid(), signum)
+
+        return progress
+
+    def test_serial_sigint_flushes_completed_work(self, tmp_path):
+        spec = scenario_spec(seeds=(1, 2))
+        runner = SweepRunner(
+            cache_dir=tmp_path,
+            progress=self._interrupt_after(2, signal.SIGINT))
+        with pytest.raises(SweepInterrupted) as excinfo:
+            runner.run(spec)
+        partial = excinfo.value.result
+        assert excinfo.value.signum == signal.SIGINT
+        assert partial.interrupted is True
+        assert partial.executed == 2
+        assert len(partial.records) == 2        # unstarted: no record
+        assert len(list(tmp_path.glob("*.json"))) == 2
+
+        # Resume: the flushed points come from cache, the rest run.
+        resumed = SweepRunner(cache_dir=tmp_path).run(spec)
+        assert resumed.cache_hits == 2
+        assert resumed.executed == len(spec) - 2
+        fresh = SweepRunner().run(spec)
+        assert [r.metrics for r in resumed.records] == \
+            [r.metrics for r in fresh.records]
+
+    def test_parallel_sigterm_interrupts_and_reports_signal(self):
+        spec = SweepSpec("slow")
+        for i in range(8):
+            spec.add_analytic((i,), "tests.helpers:slow_metrics_fn",
+                              delay_s=0.1, value=float(i))
+        runner = SweepRunner(
+            jobs=2, progress=self._interrupt_after(1, signal.SIGTERM))
+        with pytest.raises(SweepInterrupted) as excinfo:
+            runner.run(spec)
+        assert excinfo.value.signum == signal.SIGTERM
+        partial = excinfo.value.result
+        assert partial.interrupted is True
+        assert 1 <= partial.executed < len(spec)
+
+    def test_partial_artifact_is_marked_interrupted(self, tmp_path):
+        spec = scenario_spec(seeds=(1, 2))
+        runner = SweepRunner(
+            cache_dir=tmp_path,
+            progress=self._interrupt_after(1, signal.SIGINT))
+        with pytest.raises(SweepInterrupted) as excinfo:
+            runner.run(spec)
+        payload = excinfo.value.result.to_json_dict()
+        assert payload["interrupted"] is True
+        assert payload["version"] == RESULT_VERSION
+        loaded = SweepResult.from_json_dict(payload)
+        assert loaded.interrupted is True
+
+    def test_signal_handlers_are_restored(self):
+        before = (signal.getsignal(signal.SIGINT),
+                  signal.getsignal(signal.SIGTERM))
+        SweepRunner().run(analytic_spec(n=1))
+        after = (signal.getsignal(signal.SIGINT),
+                 signal.getsignal(signal.SIGTERM))
+        assert before == after
+
+
+# ----------------------------------------------------------------------
+# Cache hardening (staging names, quarantine, probe)
+# ----------------------------------------------------------------------
+class TestCacheHardening:
+    def test_staging_names_are_unique_per_call_and_process(
+            self, tmp_path):
+        cache = SweepCache(tmp_path)
+        a, b = cache._staging_path("sig"), cache._staging_path("sig")
+        assert a != b
+        assert str(os.getpid()) in a.name
+        other = SweepCache(tmp_path)
+        assert other._staging_path("sig") != cache._staging_path("sig")
+
+    def test_store_leaves_no_staging_litter(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store("sig", {"v": 1})
+        cache.store("sig", {"v": 2})
+        assert list(tmp_path.glob("*.tmp")) == []
+        assert cache.load("sig") == {"v": 2}
+
+    def test_concurrent_stores_same_signature_end_consistent(
+            self, tmp_path):
+        a, b = SweepCache(tmp_path), SweepCache(tmp_path)
+        a.store("sig", {"v": "a"})
+        b.store("sig", {"v": "b"})
+        assert SweepCache(tmp_path).load("sig") in \
+            ({"v": "a"}, {"v": "b"})
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_truncated_json_is_quarantined_and_counted(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        cache.store("sig", {"v": 1})
+        (tmp_path / "sig.json").write_text('{"v": 1')   # truncated
+        assert cache.load("sig") is None
+        assert cache.corrupt == 1 and cache.misses == 1
+        assert not (tmp_path / "sig.json").exists()
+        assert (tmp_path / "sig.json.corrupt").exists()
+        # Quarantined means the next run stores fresh and hits again.
+        cache.store("sig", {"v": 2})
+        assert cache.load("sig") == {"v": 2}
+
+    def test_non_dict_payload_is_rejected_and_quarantined(
+            self, tmp_path):
+        cache = SweepCache(tmp_path)
+        (tmp_path / "sig.json").write_text("[1, 2, 3]")
+        assert cache.load("sig") is None
+        assert cache.corrupt == 1
+        assert (tmp_path / "sig.json.corrupt").exists()
+
+    def test_probe_reports_all_states(self, tmp_path):
+        cache = SweepCache(tmp_path)
+        assert cache.probe("nothing") == "missing"
+        cache.store("good", {"v": 1})
+        assert cache.probe("good") == "complete"
+        cache.store_failure("bad", {"type": "RuntimeError"})
+        assert cache.probe("bad") == "failed"
+        (tmp_path / "mangled.json").write_text("{nope")
+        assert cache.probe("mangled") == "corrupt"
+        (tmp_path / "listy.json").write_text("[]")
+        assert cache.probe("listy") == "corrupt"
+        # probe never mutates: counters untouched, files unmoved.
+        assert cache.corrupt == 0
+        assert (tmp_path / "mangled.json").exists()
+
+
+# ----------------------------------------------------------------------
+# Artifact schema v2 + engine guard
+# ----------------------------------------------------------------------
+class TestArtifactVersioning:
+    def test_v2_schema_fields(self):
+        payload = SweepRunner().run(analytic_spec(n=1)).to_json_dict()
+        assert payload["version"] == RESULT_VERSION
+        assert payload["engine"] == ENGINE_VERSION
+        assert payload["failed"] == 0
+        assert payload["interrupted"] is False
+        assert payload["records"][0]["error"] is None
+
+    def test_v1_artifact_still_loads(self):
+        v1 = {
+            "format": "repro-sweep-result", "version": 1,
+            "engine": ENGINE_VERSION, "spec": "old",
+            "executed": 1, "cache_hits": 0,
+            "records": [{"key": [1], "seed": 1, "signature": "s",
+                         "cached": False, "metrics": {"v": 1.0}}],
+        }
+        loaded = SweepResult.from_json_dict(v1)
+        assert loaded.failed == 0 and loaded.interrupted is False
+        assert loaded.records[0].ok
+        assert loaded.records[0].metrics == {"v": 1.0}
+
+    def test_stale_engine_raises(self):
+        stale = SweepRunner().run(analytic_spec(n=1)).to_json_dict()
+        stale["engine"] = ENGINE_VERSION - 1
+        with pytest.raises(StaleArtifactError,
+                           match="engine version"):
+            SweepResult.from_json_dict(stale)
+        with pytest.raises(StaleArtifactError):
+            SweepResult.from_json_dict(dict(stale, engine=None))
+
+    def test_allow_stale_escape_hatch(self, tmp_path):
+        stale = SweepRunner().run(analytic_spec(n=1)).to_json_dict()
+        stale["engine"] = ENGINE_VERSION - 1
+        loaded = SweepResult.from_json_dict(stale, allow_stale=True)
+        assert loaded.records
+        path = tmp_path / "stale.json"
+        path.write_text(json.dumps(stale))
+        assert SweepResult.load(path, allow_stale=True).records
+        with pytest.raises(StaleArtifactError):
+            SweepResult.load(path)
+
+    def test_unknown_version_rejected(self):
+        payload = SweepRunner().run(analytic_spec(n=1)).to_json_dict()
+        payload["version"] = RESULT_VERSION + 1
+        with pytest.raises(ValueError, match="version"):
+            SweepResult.from_json_dict(payload)
