@@ -13,7 +13,21 @@ events per wall-second:
   contention-heavy regime where backoff/poll overhead peaks;
 * ``2cell-contention`` — two overlapping 2-client BSSes sharing the
   channel (``cells=2``): inter-cell deference plus per-cell dispatch,
-  the multi-AP hot path.
+  the multi-AP hot path;
+* ``city-20cell``     — twenty one-client cells round-robined over
+  three channels, one simulator (the channel-shard pipeline's
+  unsharded baseline);
+* ``city-20cell-serial`` — the same topology through
+  ``run_scenario(cfg, shard_jobs=1)``: one simulator per channel, run
+  back-to-back in-process.  Metrics identical to the baseline; any
+  wall-clock gain here is pure per-shard heap locality (each shard's
+  event heap is a third the size, so pushes/pops and lazy-cancel
+  scans are cheaper) — measurable even on a single-core container;
+* ``city-20cell-shard2`` / ``city-20cell-shard3`` — the same shards
+  over an N-worker process pool: the heap-locality gain plus real
+  parallelism on multi-core machines (shard2 is capped at 1.5x by
+  three equal shards on two workers; shard3 runs all channels
+  concurrently).
 
 Usage::
 
@@ -53,7 +67,16 @@ TOPOLOGIES = {
     "fig10-10c-tcp": ("multi-client",
                       {"n_clients": 10, "policy": HackPolicy.VANILLA}),
     "2cell-contention": ("multi-ap", {}),
+    "city-20cell": ("city-20cell", {}),
+    "city-20cell-serial": ("city-20cell", {}),
+    "city-20cell-shard2": ("city-20cell", {}),
+    "city-20cell-shard3": ("city-20cell", {}),
 }
+
+#: label -> shard_jobs for topologies executed through the
+#: channel-shard pipeline; absent = plain single-simulator run.
+SHARD_JOBS = {"city-20cell-serial": 1, "city-20cell-shard2": 2,
+              "city-20cell-shard3": 3}
 
 
 def measure(label: str, seed: int, quick: bool) -> Dict[str, object]:
@@ -62,7 +85,7 @@ def measure(label: str, seed: int, quick: bool) -> Dict[str, object]:
         overrides = dict(overrides, **QUICK_DURATIONS)
     config = registry.build(scenario, seed=seed, **overrides)
     started = time.perf_counter()
-    result = run_scenario(config)
+    result = run_scenario(config, shard_jobs=SHARD_JOBS.get(label))
     wall_s = time.perf_counter() - started
     kernel = result.kernel_stats
     return {
@@ -119,8 +142,11 @@ def profile_topology(label: str, seed: int,
 
 def run_profiles(seed: int, quick: bool
                  ) -> Dict[str, List[Dict[str, object]]]:
+    # Sharded labels are skipped: the work happens in pool workers,
+    # so a parent-process cProfile would only see pool plumbing (the
+    # unsharded twin topology profiles the actual hot path).
     return {label: profile_topology(label, seed, quick)
-            for label in TOPOLOGIES}
+            for label in TOPOLOGIES if label not in SHARD_JOBS}
 
 
 def print_report(measured: Dict[str, Dict[str, object]],

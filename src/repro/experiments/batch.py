@@ -227,16 +227,44 @@ def _resolve(dotted: str) -> Callable[..., Metrics]:
     return getattr(importlib.import_module(module_name), attr)
 
 
-def execute_point(point: SweepPoint) -> Metrics:
-    """Produce one point's metrics (the process-pool work function)."""
+def execute_point(point: SweepPoint,
+                  shard_jobs: Optional[int] = None) -> Metrics:
+    """Produce one point's metrics (the process-pool work function).
+
+    ``shard_jobs`` is an *execution* knob, not part of the point's
+    identity: it routes multi-channel scenario points through the
+    channel-shard pipeline (``run_scenario(cfg, shard_jobs=...)``)
+    without perturbing cache signatures — sharded and unsharded
+    executions of the same config produce the same metrics record.
+    """
     if point.config is not None:
-        return scenario_metrics(run_scenario(point.config))
+        return scenario_metrics(
+            run_scenario(point.config, shard_jobs=shard_jobs))
     metrics = _resolve(point.fn)(**dict(point.fn_kwargs))
     if not isinstance(metrics, dict):
         raise TypeError(
             f"analytic point {point.fn} returned {type(metrics)!r}, "
             "expected a metrics dict")
     return metrics
+
+
+def point_shard_units(point: SweepPoint,
+                      shard_jobs: Optional[int] = None) -> int:
+    """How many shard-level work units one point fans out into.
+
+    1 for analytic points, for runs without ``shard_jobs``, and for
+    configs the planner rejects (the run itself will surface that
+    error); otherwise the point's channel-shard count.  Feeds the
+    unit-weighted progress/ETA so a 3-channel point counts as three
+    units of simulation, not one.
+    """
+    if shard_jobs is None or point.config is None:
+        return 1
+    from ..workloads.sharding import ShardPlan
+    try:
+        return max(1, ShardPlan.from_config(point.config).shard_count)
+    except ValueError:
+        return 1
 
 
 # ----------------------------------------------------------------------
@@ -565,9 +593,13 @@ def error_payload(exc: BaseException, attempts: int) -> Dict[str, Any]:
 class _RunState:
     """Mutable bookkeeping for one ``SweepRunner.run`` invocation."""
 
-    def __init__(self, spec: SweepSpec, signatures: List[str]):
+    def __init__(self, spec: SweepSpec, signatures: List[str],
+                 units: Optional[List[int]] = None):
         self.spec = spec
         self.signatures = signatures
+        #: Shard-unit weight per point (all 1 when sharding is off).
+        self.units = units if units is not None \
+            else [1] * len(spec.points)
         self.metrics_by_index: Dict[int, Metrics] = {}
         self.cached: Dict[int, bool] = {}
         self.errors_by_index: Dict[int, Dict[str, Any]] = {}
@@ -586,7 +618,16 @@ class _RunState:
             spec_name=self.spec.name, total=len(self.spec.points),
             executed=self.executed, cached=self.cache_hits,
             failed=len(self.errors_by_index),
-            elapsed_s=time.perf_counter() - self.started)
+            elapsed_s=time.perf_counter() - self.started,
+            total_units=sum(self.units),
+            executed_units=sum(
+                self.units[i] for i, flag in self.cached.items()
+                if not flag),
+            cached_units=sum(
+                self.units[i] for i, flag in self.cached.items()
+                if flag),
+            failed_units=sum(
+                self.units[i] for i in self.errors_by_index))
 
 
 class SweepRunner:
@@ -622,7 +663,8 @@ class SweepRunner:
                  retries: int = 0,
                  retry_backoff_s: float = 0.5,
                  progress: Optional[
-                     Callable[[SweepProgress], None]] = None):
+                     Callable[[SweepProgress], None]] = None,
+                 shard_jobs: Optional[int] = None):
         if jobs is not None and jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -630,6 +672,13 @@ class SweepRunner:
         self.retries = max(0, retries)
         self.retry_backoff_s = retry_backoff_s
         self.progress = progress
+        #: Channel-shard fan-out per point (see ``execute_point``):
+        #: None = single simulator per point; 1 = serial shards;
+        #: N > 1 = per-point shard pool.  Purely an execution knob —
+        #: cache signatures and metrics are unchanged by it.  Inside a
+        #: ``jobs > 1`` worker pool the shard layer falls back to
+        #: serial shards on its own (daemonic-worker guard).
+        self.shard_jobs = shard_jobs
         self._stop_signal: Optional[int] = None
 
     # -- interruption --------------------------------------------------
@@ -694,7 +743,7 @@ class SweepRunner:
                 if attempt > 1:
                     time.sleep(self.retry_backoff_s * (attempt - 1))
                 try:
-                    metrics = execute_point(point)
+                    metrics = execute_point(point, self.shard_jobs)
                 except Exception as exc:
                     last_error = exc
                     if self._stop_signal is not None:
@@ -717,7 +766,8 @@ class SweepRunner:
         def submit(index: int) -> None:
             attempts[index] += 1
             futures[pool.submit(execute_point,
-                                state.spec.points[index])] = index
+                                state.spec.points[index],
+                                self.shard_jobs)] = index
 
         try:
             for index in pending:
@@ -778,7 +828,9 @@ class SweepRunner:
     # -- entry point ---------------------------------------------------
     def run(self, spec: SweepSpec) -> SweepResult:
         signatures = [point_signature(p) for p in spec.points]
-        state = _RunState(spec, signatures)
+        units = [point_shard_units(p, self.shard_jobs)
+                 for p in spec.points]
+        state = _RunState(spec, signatures, units)
 
         pending: List[int] = []
         for index, signature in enumerate(signatures):

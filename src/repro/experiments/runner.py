@@ -23,8 +23,8 @@ import sys
 import time
 from pathlib import Path
 
-from . import ablations, crossval, fct_churn, fig01, fig09, fig10, \
-    fig11, fig12, multi_ap, table2, table3
+from . import ablations, city_scale, crossval, fct_churn, fig01, \
+    fig09, fig10, fig11, fig12, multi_ap, table2, table3
 from .batch import SweepInterrupted, SweepResult, SweepRunner
 from .progress import ProgressReporter
 
@@ -40,6 +40,7 @@ EXPERIMENTS = {
     "ablations": ablations,
     "fct_churn": fct_churn,  # extension: flow churn / FCT
     "multi_ap": multi_ap,    # extension: overlapping co-channel cells
+    "city_scale": city_scale,  # extension: channel-sharded city grid
 }
 
 DEFAULT_CACHE_DIR = ".sweep-cache"
@@ -65,7 +66,15 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                              "deaths; default 0)")
     parser.add_argument("--progress", action="store_true",
                         help="live progress lines on stderr (points "
-                             "done/cached/failed, points/s, ETA)")
+                             "done/cached/failed, points/s, ETA; "
+                             "shard-unit weighted with --shard-jobs)")
+    parser.add_argument("--shard-jobs", type=int, default=None,
+                        metavar="N",
+                        help="run each multi-channel point as one "
+                             "shard per channel: 1 = serial shards, "
+                             "N > 1 = shard worker pool (metrics are "
+                             "identical either way; single-channel "
+                             "points are unaffected)")
     parser.add_argument("--stream-stats", action="store_true",
                         help="bounded-memory streaming FCT "
                              "aggregation per cell (peak FCT-record "
@@ -87,7 +96,8 @@ def make_runner(args: argparse.Namespace) -> SweepRunner:
         else None
     return SweepRunner(jobs=args.jobs, cache_dir=cache_dir,
                        retries=getattr(args, "retries", 0),
-                       progress=progress)
+                       progress=progress,
+                       shard_jobs=getattr(args, "shard_jobs", None))
 
 
 def write_artifacts(path: str, artifacts: dict) -> None:

@@ -55,6 +55,17 @@ transmissions never overlap (any overlap is a collision by
 definition), so summing those credits across cells can never
 double-count an instant — per-cell airtime shares always sum to at
 most the elapsed window.
+
+**Channels.**  A :class:`Medium` is one channel.  Scenarios spanning
+several channels use a :class:`ChannelizedMedium`: an ordered set of
+per-channel ``Medium`` instances over one simulator.  Channels never
+interact — a frame on channel c contributes no energy, no carrier
+sense, no EIFS and no collisions on any other channel, which is
+modelled *by construction* (separate ``Medium`` objects, so there is
+no cross-channel code path to get wrong).  Every per-cell invariant
+above is therefore scoped to a channel: cell airtime shares sum to at
+most 1 *per channel*, while the sum over all cells of a multi-channel
+scenario can legitimately approach the channel count.
 """
 
 from __future__ import annotations
@@ -67,6 +78,10 @@ from .engine import Simulator
 #: explicit cell (and transmissions from never-attached senders are
 #: attributed to).  Single-cell simulations only ever touch this one.
 DEFAULT_CELL = 0
+
+#: The channel a bare ``Medium`` models (and the one single-channel
+#: scenarios have always run on).
+DEFAULT_CHANNEL = 0
 
 
 class Transmission:
@@ -147,9 +162,13 @@ class Medium:
     channel; see the module docstring for the inter-cell semantics.
     """
 
-    def __init__(self, sim: Simulator, loss_model: Optional[Any] = None):
+    def __init__(self, sim: Simulator, loss_model: Optional[Any] = None,
+                 channel: int = DEFAULT_CHANNEL):
         self.sim = sim
         self.loss_model = loss_model
+        #: Which channel this medium models (informational; media of
+        #: different channels share nothing but the simulator clock).
+        self.channel = channel
         self.listeners: List[MediumListener] = []
         #: cell key -> dispatch group; the default cell always exists.
         self._cells: Dict[Any, _Cell] = {DEFAULT_CELL: _Cell()}
@@ -194,7 +213,14 @@ class Medium:
         return self._cell_of.get(listener, DEFAULT_CELL)
 
     def cell_stats(self, cell: Any = DEFAULT_CELL) -> Dict[str, int]:
-        """Per-cell counters: clean airtime and frames offered/collided."""
+        """Per-cell counters: clean airtime and frames offered/collided.
+
+        Scope is this one channel: the airtime credited here is time
+        the cell held *this* medium, and the disjointness guarantee
+        (clean transmissions never overlap) holds among this channel's
+        cells only.  Cells on other channels keep their own, entirely
+        independent, books.
+        """
         group = self._cells.get(cell)
         if group is None:
             return {"airtime_ns": 0, "frames_sent": 0,
@@ -206,8 +232,11 @@ class Medium:
     def cell_airtime_share(self, cell: Any = DEFAULT_CELL,
                            elapsed: Optional[int] = None) -> float:
         """Fraction of a window this cell's clean transmissions held the
-        channel.  Shares across cells sum to at most 1 (clean
-        transmissions are disjoint by definition of a collision)."""
+        channel.  Shares across *this channel's* cells sum to at most 1
+        (clean transmissions on one channel are disjoint by definition
+        of a collision); summed over every cell of a multi-channel
+        scenario the total can legitimately exceed 1 — each channel
+        carries clean airtime concurrently."""
         if elapsed is not None and elapsed < 0:
             raise ValueError(f"negative elapsed window {elapsed}")
         total = elapsed if elapsed is not None else self.sim.now
@@ -331,3 +360,60 @@ class Medium:
         if self._busy_since is not None:
             busy += self.sim.now - self._busy_since
         return min(1.0, busy / total)
+
+
+class ChannelizedMedium:
+    """An ordered set of independent channels over one simulator.
+
+    Each channel is a full :class:`Medium` (its own collision domain,
+    carrier sense, EIFS and loss model); cross-channel frames are
+    invisible to each other by construction because the media share no
+    state.  A single-channel scenario built through this class runs the
+    exact historical ``Medium`` code paths — the wrapper only holds the
+    mapping and aggregates counters.
+    """
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self._media: Dict[int, Medium] = {}
+
+    def add_channel(self, channel: int,
+                    loss_model: Optional[Any] = None) -> Medium:
+        """Create one channel's medium (channels are registered once,
+        in the order scenarios enumerate them)."""
+        if channel in self._media:
+            raise ValueError(f"channel {channel} already exists")
+        medium = Medium(self.sim, loss_model=loss_model,
+                        channel=channel)
+        self._media[channel] = medium
+        return medium
+
+    def medium(self, channel: int) -> Medium:
+        """The :class:`Medium` modelling one channel."""
+        return self._media[channel]
+
+    def channels(self) -> List[int]:
+        """Registered channels, in registration order."""
+        return list(self._media)
+
+    @property
+    def frames_sent(self) -> int:
+        """Frames offered across every channel."""
+        return sum(m.frames_sent for m in self._media.values())
+
+    @property
+    def frames_collided(self) -> int:
+        """Collided frames across every channel (collisions only ever
+        happen within one channel)."""
+        return sum(m.frames_collided for m in self._media.values())
+
+    def utilisation(self, elapsed: Optional[int] = None) -> float:
+        """Mean per-channel busy fraction (each channel in [0, 1]).
+
+        For a single channel this is exactly that channel's
+        :meth:`Medium.utilisation` — the historical headline number.
+        """
+        media = list(self._media.values())
+        if not media:
+            return 0.0
+        return sum(m.utilisation(elapsed) for m in media) / len(media)

@@ -110,6 +110,36 @@ class MacStats:
             return "bar"
         return getattr(mpdus[0].payload, "kind", "data")
 
+    #: Every defaultdict counter (summed key-wise on merge).
+    _DICT_COUNTERS = (
+        "airtime_ns", "acquisition_wait_ns", "tx_attempts",
+        "exchange_failures", "exchange_successes",
+        "delivered_first_attempt", "delivered_after_retry",
+        "mpdus_dropped", "mpdus_corrupted",
+        "ll_response_airtime_ns", "ll_response_overhead_ns",
+        "ll_responses")
+    #: Every scalar counter (summed on merge).
+    _SCALAR_COUNTERS = (
+        "hack_extra_airtime_ns", "hack_responses", "hack_fits_aifs",
+        "hack_payload_bytes", "bar_give_ups")
+
+    def merge(self, other: "MacStats") -> None:
+        """Fold another simulation's accumulator into this one.
+
+        Every field is an integer count or sum, so merging is exact
+        and order-independent — the derived reports (retry table, fit
+        fraction, time breakdown) computed from a merge equal those of
+        a single simulation that saw all the events.  Used by the
+        channel-shard pipeline to combine per-shard stats.
+        """
+        for attr in self._DICT_COUNTERS:
+            mine = getattr(self, attr)
+            for key, value in getattr(other, attr).items():
+                mine[key] += value
+        for attr in self._SCALAR_COUNTERS:
+            setattr(self, attr, getattr(self, attr)
+                    + getattr(other, attr))
+
     # ------------------------------------------------------------------
     # Report helpers
     # ------------------------------------------------------------------

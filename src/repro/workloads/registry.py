@@ -265,6 +265,19 @@ def _multi_ap_churn() -> ScenarioConfig:
         duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
 
 
+@register("city-20cell",
+          "a 20-cell city grid round-robined over the three "
+          "2.4 GHz channels, one bulk TCP/HACK download per cell — "
+          "the channel-shard pipeline's benchmark topology "
+          "(run_scenario(cfg, shard_jobs=...) shards it per channel)")
+def _city_20cell() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=1, cells=20,
+        channels=3, traffic="tcp_download",
+        policy=HackPolicy.MORE_DATA,
+        duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
 @register("sora-testbed",
           "the §4 SoRa 802.11a testbed: 54 Mbps, per-client loss, "
           "late LL ACKs (examples/sora_testbed.py)")

@@ -15,14 +15,22 @@ and ``udp_background_mbps`` adds per-client constant-bit-rate UDP
 noise to any TCP workload.
 
 ``cells=N`` replicates the whole BSS — AP, wired server/link, clients
-and traffic — N times on the *same* channel (one
-:class:`~repro.sim.medium.Medium` collision domain).  Co-channel cells
-defer to and collide with each other through the ordinary DCF/EIFS
-machinery while frame decoding stays scoped to each cell's own address
-map; results gain per-cell blocks (goodput, clean-airtime share, FCT,
-intra-cell Jain) plus a cross-cell fairness index.  Cell 1 is wired
-exactly as the historical single-BSS topology, so single-cell runs are
-bit-identical to what they always were.
+and traffic — N times.  Co-channel cells defer to and collide with
+each other through the ordinary DCF/EIFS machinery while frame
+decoding stays scoped to each cell's own address map; results gain
+per-cell blocks (goodput, clean-airtime share, FCT, intra-cell Jain)
+plus a cross-cell fairness index.  Cell 1 is wired exactly as the
+historical single-BSS topology, so single-cell runs are bit-identical
+to what they always were.
+
+``channels=C`` spreads the cells over C independent collision domains
+(one :class:`~repro.sim.medium.Medium` each; assignment via
+``cell_channel`` or round-robin).  Cells on different channels never
+interact, which is what lets :func:`run_scenario`'s ``shard_jobs``
+knob hand each channel's cells to its own simulator — serially or
+across worker processes — and merge the shard results back into one
+:class:`ScenarioResult` (see :mod:`repro.workloads.sharding`); results
+gain per-channel blocks either way.
 """
 
 from __future__ import annotations
@@ -38,7 +46,7 @@ from ..mac.rate_control import Aarf
 from ..phy.errors import LossModel, NoLoss, SnrLossModel, UniformLossModel
 from ..phy.params import PHY_11A, PHY_11N, PhyParams
 from ..sim.engine import Simulator
-from ..sim.medium import Medium
+from ..sim.medium import ChannelizedMedium, DEFAULT_CHANNEL, Medium
 from ..sim.rng import RngRegistry
 from ..sim.units import MS, SEC, msec, sec, throughput_mbps, usec
 from ..sim.wired import WiredLink
@@ -96,6 +104,16 @@ class ScenarioConfig:
     #: clients in every cell.  A 0 entry builds a silent BSS (AP and
     #: wired plumbing, no stations, no traffic).
     cell_clients: Optional[Tuple[int, ...]] = None
+    #: Distinct radio channels the cells are spread over.  Channels do
+    #: not share a collision domain (separate
+    #: :class:`~repro.sim.medium.Medium` instances), so a multi-channel
+    #: scenario factors exactly into independent per-channel shards —
+    #: see :mod:`repro.workloads.sharding`.  1 = everything co-channel,
+    #: the historical behaviour.
+    channels: int = 1
+    #: Explicit cell -> channel assignment (length ``cells``, entries
+    #: in ``range(channels)``); None = round-robin ``cell % channels``.
+    cell_channel: Optional[Tuple[int, ...]] = None
     #: Concurrent TCP flows per client (the AP queue scales with this,
     #: matching the paper's "126 packets per flow" sizing).
     flows_per_client: int = 1
@@ -185,6 +203,20 @@ class ScenarioConfig:
                     f"entries for {self.cells} cells")
             if any(n < 0 for n in self.cell_clients):
                 raise ValueError("cell_clients entries must be >= 0")
+        if self.channels < 1:
+            raise ValueError(
+                f"channels must be >= 1, got {self.channels}")
+        if self.cell_channel is not None:
+            if len(self.cell_channel) != self.cells:
+                raise ValueError(
+                    f"cell_channel has {len(self.cell_channel)} "
+                    f"entries for {self.cells} cells")
+            bad = [c for c in self.cell_channel
+                   if not 0 <= c < self.channels]
+            if bad:
+                raise ValueError(
+                    f"cell_channel entries {bad} outside "
+                    f"range({self.channels})")
 
     def clients_in_cell(self, cell: int) -> int:
         if self.cell_clients is not None:
@@ -211,6 +243,51 @@ class ScenarioConfig:
     def cell_ip_prefix(self, cell: int) -> str:
         """Each cell's wired island gets its own /16 ("10.<cell>")."""
         return f"10.{cell}"
+
+    # -- multi-channel helpers ----------------------------------------
+    def channel_of(self, cell: int) -> int:
+        """The channel cell ``cell`` radiates on (explicit assignment
+        or round-robin)."""
+        if self.cell_channel is not None:
+            return self.cell_channel[cell]
+        return cell % self.channels
+
+    def ordered_channels(self, cell_indices=None) -> Tuple[int, ...]:
+        """Distinct channels of the given cells (default: all cells),
+        in first-appearance order over ascending cell index."""
+        if cell_indices is None:
+            cell_indices = range(self.cells)
+        seen: Dict[int, None] = {}
+        for cell in cell_indices:
+            seen.setdefault(self.channel_of(cell), None)
+        return tuple(seen)
+
+    # -- global id layout (shard-stable by construction) --------------
+    # Flow ids, UDP pseudo-flow ids and wired /16s are all computed
+    # from the *global* cell index rather than from per-run counters,
+    # so a shard rebuilding a subset of cells mints exactly the ids
+    # the unsharded run would have given those cells.
+    def static_flow_count(self, cell: int) -> int:
+        """TCP flow ids one cell's static traffic consumes."""
+        if self.traffic in ("dynamic", "udp_download"):
+            return 0
+        return self.clients_in_cell(cell) * max(1, self.flows_per_client)
+
+    def static_flow_id_base(self, cell: int) -> int:
+        """First static flow id of one cell (ids start at 1 and run in
+        cell order, exactly as the historical global counter did)."""
+        return 1 + sum(self.static_flow_count(j) for j in range(cell))
+
+    def udp_sink_count(self, cell: int) -> int:
+        """``udp_download`` sinks one cell contributes."""
+        if self.traffic != "udp_download":
+            return 0
+        return self.clients_in_cell(cell)
+
+    def udp_index_base(self, cell: int) -> int:
+        """First global UDP-sink index of one cell (sink *i* reports
+        under pseudo-flow id ``-(i + 1)``)."""
+        return sum(self.udp_sink_count(j) for j in range(cell))
 
 
 @dataclass
@@ -253,6 +330,20 @@ class ScenarioResult:
     #: One FlowManager per cell (None where the cell has no arrivals).
     traffic_managers: List[Optional[FlowManager]] = field(
         default_factory=list)
+    #: Per-channel result blocks (plain data; one per channel used, in
+    #: first-appearance order).  Single-channel runs have exactly one.
+    channel_blocks: List[Dict[str, Any]] = field(default_factory=list)
+    #: Precomputed ``metrics_dict()["drivers"]`` payload.  Set on
+    #: results merged from shards (whose live driver objects never
+    #: cross the process boundary); None means "read ``drivers``".
+    driver_metrics: Optional[Dict[str, Dict[str, int]]] = None
+    #: How this result was executed when it came from the shard
+    #: pipeline (plan + per-shard wall clock; not part of metrics).
+    #: None for ordinary single-simulator runs.
+    shard_info: Optional[Dict[str, Any]] = None
+    #: The live per-cell nets, in build order (in-process consumers —
+    #: the shard pipeline reads per-cell flow ordering off these).
+    cell_nets: List[Any] = field(default_factory=list, repr=False)
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -279,17 +370,11 @@ class ScenarioResult:
         cacheable and identical across serial and parallel execution
         (all dict keys are strings so a JSON round-trip is lossless).
         """
-        drivers: Dict[str, Dict[str, int]] = {}
-        for name, driver in self.drivers.items():
-            stats = driver.stats
-            drivers[name] = {
-                "vanilla_acks_sent": stats.vanilla_acks_sent,
-                "vanilla_ack_bytes": stats.vanilla_ack_bytes,
-                "hack_frames_attached": stats.hack_frames_attached,
-                "hack_frame_bytes": stats.hack_frame_bytes,
-                "compressed_acks": driver.compressed_acks,
-                "compressed_bytes": driver.compressed_bytes,
-            }
+        if self.driver_metrics is not None:
+            drivers = {name: dict(stats)
+                       for name, stats in self.driver_metrics.items()}
+        else:
+            drivers = driver_metrics_dict(self.drivers)
         return {
             "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
             "per_flow_goodput_mbps": {
@@ -317,6 +402,7 @@ class ScenarioResult:
                 dict(self.udp_background_goodput_mbps),
             "cells": [dict(block) for block in self.cell_blocks],
             "cell_fairness_index": self.cell_fairness_index,
+            "channels": [dict(block) for block in self.channel_blocks],
         }
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -381,25 +467,82 @@ class _CellNet:
         self.flow_manager: Optional[FlowManager] = None
 
 
-def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
-    """Build the WLAN(s) described by ``cfg``, run, collect results.
+def driver_metrics_dict(
+        drivers: Dict[str, HackDriver]) -> Dict[str, Dict[str, int]]:
+    """The ``metrics_dict()["drivers"]`` payload from live drivers.
 
-    With ``cells=1`` (the default) this wires the paper's single-BSS
-    topology exactly as it always did; ``cells=N`` repeats the whole
-    wiring per cell on one shared medium (see the module docstring).
+    Shared with the shard pipeline, which flattens each shard's
+    drivers to plain data before crossing the process boundary."""
+    out: Dict[str, Dict[str, int]] = {}
+    for name, driver in drivers.items():
+        stats = driver.stats
+        out[name] = {
+            "vanilla_acks_sent": stats.vanilla_acks_sent,
+            "vanilla_ack_bytes": stats.vanilla_ack_bytes,
+            "hack_frames_attached": stats.hack_frames_attached,
+            "hack_frame_bytes": stats.hack_frame_bytes,
+            "compressed_acks": driver.compressed_acks,
+            "compressed_bytes": driver.compressed_bytes,
+        }
+    return out
+
+
+def _validate_traffic(cfg: ScenarioConfig) -> None:
+    """Traffic-shape validation (shared by every cell)."""
+    if cfg.traffic not in ("tcp_download", "tcp_upload",
+                           "udp_download", "dynamic"):
+        raise ValueError(f"unknown traffic {cfg.traffic!r}")
+    if cfg.traffic == "dynamic" and cfg.arrivals is None:
+        raise ValueError(
+            "traffic='dynamic' requires an ArrivalSpec in cfg.arrivals")
+    if cfg.udp_background_mbps > 0 and cfg.traffic == "udp_download":
+        raise ValueError("udp_background_mbps composes with TCP "
+                         "traffic; use udp_rate_mbps for udp_download")
+
+
+def _loss_stream_name(channel: int) -> str:
+    """Channel 0 keeps the historical "phy-loss" stream (bit-identity
+    for every single-channel scenario); other channels draw from their
+    own stream so no channel's losses perturb another's — and so a
+    shard rebuilding one channel reproduces its draws exactly
+    (RngRegistry streams are name-derived, not creation-order)."""
+    if channel == DEFAULT_CHANNEL:
+        return "phy-loss"
+    return f"channel{channel}:phy-loss"
+
+
+class CellBuilder:
+    """Builds one cell's BSS — nodes, wiring and traffic — into a
+    shared simulator, accumulating the run-wide collections.
+
+    Everything id-like (station addresses, wired /16s, static flow
+    ids, UDP pseudo-flow ids, RNG stream names) derives from the
+    *global* cell index, never from build-order counters.  Building
+    cells 0..N-1 in one simulator and building any subset of them in a
+    fresh simulator therefore mint identical ids and draw identical
+    random streams — the property the channel-shard pipeline
+    (:mod:`repro.workloads.sharding`) rests on.
     """
-    cfg.validate_cells()
-    sim = Simulator()
-    rngs = RngRegistry(cfg.seed)
-    loss_model = cfg.loss.build(rngs.stream("phy-loss"))
-    medium = Medium(sim, loss_model=loss_model)
-    tracer = MediumTracer(medium, cfg.trace_max_records) if cfg.trace \
-        else None
-    phy = cfg.phy
-    mac_stats = MacStats()
 
-    def make_mac(address: str, queue_limit: Optional[int],
-                 cell: int) -> DcfMac:
+    def __init__(self, cfg: ScenarioConfig, sim: Simulator,
+                 rngs: RngRegistry, mac_stats: MacStats):
+        self.cfg = cfg
+        self.sim = sim
+        self.rngs = rngs
+        self.mac_stats = mac_stats
+        # Run-wide collections, in build order.
+        self.cells: List[_CellNet] = []
+        self.flows: List[TcpFlow] = []
+        self.udp_sources: List[tuple] = []  # (pseudo id, name, source)
+        self.udp_background: List[tuple] = []   # (name, source)
+        self.clients: Dict[str, ClientNode] = {}
+        self.drivers: Dict[str, HackDriver] = {}
+
+    def make_mac(self, address: str, queue_limit: Optional[int],
+                 cell: int, medium: Medium,
+                 loss_model: LossModel) -> DcfMac:
+        cfg = self.cfg
+        phy = cfg.phy
         params = MacParams(
             data_rate_mbps=cfg.data_rate_mbps,
             aggregation=cfg.use_aggregation,
@@ -415,40 +558,25 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         elif cfg.rate_adaptation is not None:
             raise ValueError(
                 f"unknown rate_adaptation {cfg.rate_adaptation!r}")
-        return DcfMac(sim, medium, phy, address, params,
-                      rngs.stream(f"mac-{address}"), stats=mac_stats,
-                      loss_model=loss_model,
+        return DcfMac(self.sim, medium, phy, address, params,
+                      self.rngs.stream(f"mac-{address}"),
+                      stats=self.mac_stats, loss_model=loss_model,
                       rate_control_factory=factory, cell=cell)
 
-    # --- Traffic validation (shared by every cell) -------------------
-    if cfg.traffic not in ("tcp_download", "tcp_upload",
-                           "udp_download", "dynamic"):
-        raise ValueError(f"unknown traffic {cfg.traffic!r}")
-    if cfg.traffic == "dynamic" and cfg.arrivals is None:
-        raise ValueError(
-            "traffic='dynamic' requires an ArrivalSpec in cfg.arrivals")
-    if cfg.udp_background_mbps > 0 and cfg.traffic == "udp_download":
-        raise ValueError("udp_background_mbps composes with TCP "
-                         "traffic; use udp_rate_mbps for udp_download")
-
-    cells: List[_CellNet] = []
-    flows: List[TcpFlow] = []           # every cell's, build order
-    udp_sources: List[tuple] = []       # (client name, UdpSource)
-    udp_background: List[tuple] = []
-    clients: Dict[str, ClientNode] = {}     # all cells (unique names)
-    drivers: Dict[str, HackDriver] = {}     # all cells (unique names)
-    next_flow_id = 1
-
-    for cell_index in range(cfg.cells):
+    def build(self, cell_index: int, medium: Medium,
+              loss_model: LossModel) -> _CellNet:
+        """Wire one cell (global index) onto its channel's medium."""
+        cfg = self.cfg
+        sim = self.sim
         net = _CellNet(cell_index, cfg.cell_ap_name(cell_index),
                        cfg.cell_client_names(cell_index))
-        cells.append(net)
+        self.cells.append(net)
 
         # --- Nodes ---------------------------------------------------
-        ap_mac = make_mac(
+        ap_mac = self.make_mac(
             net.ap_name,
             cfg.ap_queue_per_client * max(1, cfg.flows_per_client),
-            cell_index)
+            cell_index, medium, loss_model)
         ap_driver = HackDriver(sim, ap_mac, _hack_config(cfg))
         ap = ApNode(sim, ap_driver, name=net.ap_name)
 
@@ -459,21 +587,30 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         ap.attach_link(link)
         net.server = server
         net.drivers[net.ap_name] = ap_driver
-        drivers[net.ap_name] = ap_driver
+        self.drivers[net.ap_name] = ap_driver
 
         for name in net.client_names:
-            mac = make_mac(name, None, cell_index)
+            mac = self.make_mac(name, None, cell_index, medium,
+                                loss_model)
             driver = HackDriver(sim, mac, _hack_config(cfg))
             client = ClientNode(sim, driver, name,
                                 ap_name=net.ap_name,
                                 stack_delay_ns=cfg.stack_delay_ns)
             net.clients[name] = client
-            clients[name] = client
+            self.clients[name] = client
             net.drivers[name] = driver
-            drivers[name] = driver
+            self.drivers[name] = driver
 
-        # --- Static traffic ------------------------------------------
-        ip = cfg.cell_ip_prefix(cell_index)
+        self._build_static_traffic(net, server)
+        self._build_churn(net)
+        self._build_background(net, server)
+        return net
+
+    def _build_static_traffic(self, net: _CellNet,
+                              server: ServerNode) -> None:
+        cfg = self.cfg
+        sim = self.sim
+        ip = cfg.cell_ip_prefix(net.index)
         flow_specs = []
         if cfg.traffic != "dynamic":
             for index, name in enumerate(net.client_names):
@@ -482,6 +619,7 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
                 else:
                     for sub in range(max(1, cfg.flows_per_client)):
                         flow_specs.append((index, name, sub))
+        next_flow_id = cfg.static_flow_id_base(net.index)
         for spec_index, (index, name, sub) in enumerate(flow_specs):
             # Staggered starts are cell-local: each cell's operator
             # spaces their own flows, so co-channel cells ramp up
@@ -490,7 +628,9 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
             if cfg.traffic == "udp_download":
                 source = UdpSource(sim, server, name,
                                    cfg.udp_rate_mbps)
-                udp_sources.append((name, source))
+                pseudo_id = -(cfg.udp_index_base(net.index)
+                              + len(net.udp_names) + 1)
+                self.udp_sources.append((pseudo_id, name, source))
                 net.udp_names.append(name)
                 sim.schedule(start_at, source.start)
                 continue
@@ -510,7 +650,7 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
                 generate_sack=cfg.generate_sack,
                 sack_recovery=cfg.sack_recovery)
             sender = flow.sender
-            flows.append(flow)
+            self.flows.append(flow)
             net.flows.append(flow)
 
             def _start(s=sender, f=flow):
@@ -523,45 +663,117 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
             sender.on_complete = _done
             sim.schedule(start_at, _start)
 
-        # --- Flow churn (dynamic arrivals) ---------------------------
-        if cfg.arrivals is not None and net.client_names:
-            net.flow_manager = FlowManager(
-                sim, server, net.clients, net.client_names,
-                net.drivers,
-                FctAggregator() if cfg.stream_stats else FctCollector(),
-                direction=cfg.arrivals.direction, mss=cfg.mss,
-                initial_cwnd_segments=cfg.initial_cwnd_segments,
-                initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
-                delayed_ack=cfg.delayed_ack,
-                generate_sack=cfg.generate_sack,
-                sack_recovery=cfg.sack_recovery,
-                ap_name=net.ap_name,
-                flow_id_base=DYNAMIC_FLOW_ID_BASE
-                + cell_index * CELL_FLOW_ID_STRIDE,
-                ip_prefix=ip)
-            # Cell 1 draws from the historical "traffic:*" streams;
-            # later cells get their own "cell<k>:traffic:*" namespace
-            # so no cell's arrivals can perturb another's draws.
-            cell_rngs = rngs if cell_index == 0 else \
-                rngs.namespace(cfg.cell_label(cell_index))
-            for process in build_processes(sim, cfg.arrivals,
-                                           net.flow_manager.spawn,
-                                           net.client_names,
-                                           cell_rngs):
-                sim.schedule(cfg.arrivals.start_ns, process.start)
+    def _build_churn(self, net: _CellNet) -> None:
+        cfg = self.cfg
+        sim = self.sim
+        if cfg.arrivals is None or not net.client_names:
+            return
+        net.flow_manager = FlowManager(
+            sim, net.server, net.clients, net.client_names,
+            net.drivers,
+            FctAggregator() if cfg.stream_stats else FctCollector(),
+            direction=cfg.arrivals.direction, mss=cfg.mss,
+            initial_cwnd_segments=cfg.initial_cwnd_segments,
+            initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
+            delayed_ack=cfg.delayed_ack,
+            generate_sack=cfg.generate_sack,
+            sack_recovery=cfg.sack_recovery,
+            ap_name=net.ap_name,
+            flow_id_base=DYNAMIC_FLOW_ID_BASE
+            + net.index * CELL_FLOW_ID_STRIDE,
+            ip_prefix=cfg.cell_ip_prefix(net.index))
+        # Cell 1 draws from the historical "traffic:*" streams; later
+        # cells get their own "cell<k>:traffic:*" namespace so no
+        # cell's arrivals can perturb another's draws.
+        cell_rngs = self.rngs if net.index == 0 else \
+            self.rngs.namespace(cfg.cell_label(net.index))
+        for process in build_processes(sim, cfg.arrivals,
+                                       net.flow_manager.spawn,
+                                       net.client_names,
+                                       cell_rngs):
+            sim.schedule(cfg.arrivals.start_ns, process.start)
 
-        # --- UDP background noise ------------------------------------
+    def _build_background(self, net: _CellNet,
+                          server: ServerNode) -> None:
         # Kept out of ``udp_sources``/``per_flow``: noise is
         # environment, not workload — it must not inflate aggregate
         # goodput the way ``udp_download``'s sinks (the measured
         # traffic) legitimately do.
-        if cfg.udp_background_mbps > 0:
-            for name in net.client_names:
-                source = UdpSource(sim, server, name,
-                                   cfg.udp_background_mbps)
-                udp_background.append((name, source))
-                net.background_names.append(name)
-                sim.schedule(0, source.start)
+        cfg = self.cfg
+        if cfg.udp_background_mbps <= 0:
+            return
+        for name in net.client_names:
+            source = UdpSource(self.sim, server, name,
+                               cfg.udp_background_mbps)
+            self.udp_background.append((name, source))
+            net.background_names.append(name)
+            self.sim.schedule(0, source.start)
+
+
+def run_scenario(cfg: ScenarioConfig,
+                 shard_jobs: Optional[int] = None) -> ScenarioResult:
+    """Build the WLAN(s) described by ``cfg``, run, collect results.
+
+    With ``cells=1`` (the default) this wires the paper's single-BSS
+    topology exactly as it always did; ``cells=N`` repeats the whole
+    wiring per cell (see the module docstring), spreading the cells
+    over ``cfg.channels`` independent collision domains.
+
+    ``shard_jobs`` opts a multi-channel config into the channel-shard
+    pipeline (:mod:`repro.workloads.sharding`): cells are partitioned
+    by channel into independent simulators — ``1`` runs the shards
+    serially in-process, ``N > 1`` fans them over a process pool — and
+    the shard results are merged into one :class:`ScenarioResult`.
+    ``None`` (the default) runs everything in a single simulator
+    regardless of channel count.  Merged metrics are identical to the
+    single-simulator run except ``kernel_stats``, which sums the
+    per-shard event-kernel counters.
+    """
+    cfg.validate_cells()
+    _validate_traffic(cfg)
+    if shard_jobs is not None:
+        from .sharding import ShardPlan, run_sharded
+        plan = ShardPlan.from_config(cfg)
+        if plan.shard_count > 1:
+            return run_sharded(cfg, plan, shard_jobs)
+    return _run_cells(cfg, tuple(range(cfg.cells)))
+
+
+def _run_cells(cfg: ScenarioConfig,
+               cell_indices: Tuple[int, ...]) -> ScenarioResult:
+    """Build and run the given cells (global indices) in one simulator.
+
+    Called with every cell for ordinary runs, or with one channel's
+    cells for a shard.  Single-channel full runs take the exact
+    historical construction order (bit-identity with the pre-channel
+    code path)."""
+    sim = Simulator()
+    rngs = RngRegistry(cfg.seed)
+    channels = cfg.ordered_channels(cell_indices)
+    if cfg.trace and len(channels) > 1:
+        raise ValueError(
+            "trace=True records a single channel's frames; "
+            "multi-channel scenarios cannot be traced")
+    media = ChannelizedMedium(sim)
+    loss_models: Dict[int, LossModel] = {}
+    for channel in channels:
+        loss_models[channel] = cfg.loss.build(
+            rngs.stream(_loss_stream_name(channel)))
+        media.add_channel(channel, loss_models[channel])
+    tracer = MediumTracer(media.medium(channels[0]),
+                          cfg.trace_max_records) if cfg.trace else None
+    mac_stats = MacStats()
+
+    builder = CellBuilder(cfg, sim, rngs, mac_stats)
+    for cell_index in cell_indices:
+        channel = cfg.channel_of(cell_index)
+        builder.build(cell_index, media.medium(channel),
+                      loss_models[channel])
+
+    cells = builder.cells
+    flows = builder.flows
+    clients = builder.clients
+    drivers = builder.drivers
 
     # --- Measurement windows -----------------------------------------
     def snapshot_all() -> None:
@@ -603,14 +815,14 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         return throughput_mbps(b1 - b0, t1 - t0)
 
     udp_ids: Dict[int, str] = {}        # pseudo-flow id -> client
-    for index, (name, source) in enumerate(udp_sources):
+    for pseudo_id, name, source in builder.udp_sources:
         mbps = sink_mbps(name)
         if mbps is not None:
-            per_flow[-(index + 1)] = mbps
-            udp_ids[-(index + 1)] = name
+            per_flow[pseudo_id] = mbps
+            udp_ids[pseudo_id] = name
 
     background_mbps: Dict[str, float] = {}
-    for name, source in udp_background:
+    for name, source in builder.udp_background:
         mbps = sink_mbps(name)
         if mbps is not None:
             background_mbps[name] = mbps
@@ -638,9 +850,12 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
             decomp[key] += value
 
     cell_blocks = [
-        _cell_block(cfg, net, medium, per_flow, udp_ids,
-                    background_mbps)
+        _cell_block(cfg, net, media.medium(cfg.channel_of(net.index)),
+                    per_flow, udp_ids, background_mbps)
         for net in cells]
+    channel_blocks = [
+        _channel_block(cfg, media.medium(channel), cell_indices)
+        for channel in channels]
 
     return ScenarioResult(
         config=cfg,
@@ -648,9 +863,9 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         mac_stats=mac_stats,
         driver_stats={name: d.stats for name, d in drivers.items()},
         decomp_counters=decomp,
-        medium_frames_sent=medium.frames_sent,
-        medium_frames_collided=medium.frames_collided,
-        medium_utilisation=medium.utilisation(cfg.duration_ns),
+        medium_frames_sent=media.frames_sent,
+        medium_frames_collided=media.frames_collided,
+        medium_utilisation=media.utilisation(cfg.duration_ns),
         flows=flows,
         completion_times_ns=completion,
         sender_counters=sender_counters,
@@ -663,7 +878,30 @@ def run_scenario(cfg: ScenarioConfig) -> ScenarioResult:
         traffic_managers=[net.flow_manager for net in cells],
         udp_background_goodput_mbps=background_mbps,
         cell_blocks=cell_blocks,
+        channel_blocks=channel_blocks,
+        cell_nets=cells,
     )
+
+
+def _channel_block(cfg: ScenarioConfig, medium: Medium,
+                   cell_indices: Tuple[int, ...]) -> Dict[str, Any]:
+    """One channel's JSON-able block (``metrics_dict()["channels"]``).
+
+    Deliberately free of cell membership (each cell block already
+    carries its "channel" key), so a silent extra cell changes no
+    channel block.  ``airtime_share_sum`` is the per-channel invariant
+    the multi-cell accounting guarantees to stay <= 1."""
+    channel = medium.channel
+    share_sum = sum(
+        medium.cell_airtime_share(cell, cfg.duration_ns)
+        for cell in cell_indices if cfg.channel_of(cell) == channel)
+    return {
+        "channel": channel,
+        "utilisation": medium.utilisation(cfg.duration_ns),
+        "frames_sent": medium.frames_sent,
+        "frames_collided": medium.frames_collided,
+        "airtime_share_sum": share_sum,
+    }
 
 
 def _cell_block(cfg: ScenarioConfig, net: _CellNet, medium: Medium,
@@ -688,6 +926,7 @@ def _cell_block(cfg: ScenarioConfig, net: _CellNet, medium: Medium,
         "label": cfg.cell_label(net.index),
         "ap": net.ap_name,
         "clients": list(net.client_names),
+        "channel": cfg.channel_of(net.index),
         "aggregate_goodput_mbps": aggregate,
         "per_flow_goodput_mbps": {
             str(k): v for k, v in cell_flow.items()},

@@ -1,0 +1,342 @@
+"""Channel sharding: plan -> shard -> merge for city-scale scenarios.
+
+Cells on different channels share nothing — not carrier sense, not
+collisions, not loss draws (per-channel RNG streams), not flow ids,
+not wired /16s.  A multi-channel scenario therefore *factors exactly*
+into one independent sub-scenario per channel, and this module turns
+that observation into the execution pipeline behind
+``run_scenario(cfg, shard_jobs=...)``:
+
+* **plan** — :class:`ShardPlan` partitions the cells by channel
+  (:meth:`ShardPlan.from_config`); one shard per channel in use.
+* **shard** — each shard rebuilds *its* cells in a fresh
+  :class:`~repro.sim.engine.Simulator` via the same
+  :class:`~repro.workloads.scenarios.CellBuilder` path the unsharded
+  run takes.  Because every id (addresses, static flow ids, UDP
+  pseudo-ids, RNG stream names, IP prefixes) derives from the global
+  cell index, the shard's event sequence is identical to the unsharded
+  run's sub-sequence for those cells.  Shards run serially
+  (``shard_jobs=1``) or across a process pool (``shard_jobs=N``) with
+  the same submit/poll shape the sweep engine uses; each shard ships a
+  plain-data :class:`ShardOutcome` back.
+* **merge** — :func:`merge_outcomes` reassembles one
+  :class:`~repro.workloads.scenarios.ScenarioResult`: per-flow
+  goodputs in the unsharded insertion order (so order-sensitive float
+  reductions — aggregate goodput, Jain — are bit-identical),
+  per-cell FCT collectors merged in cell order through the existing
+  ``FctCollector.merge`` / ``FctAggregator.merge``, MAC/driver/
+  decompressor counters summed, and per-cell / per-channel blocks
+  reordered globally.
+
+The one deliberate exception to bit-identity is ``kernel_stats``: a
+merged result sums each shard simulator's event-kernel counters, which
+cannot equal (and is not meant to equal) the single shared kernel of
+an unsharded run — e.g. the two snapshot events are scheduled once per
+shard.  Everything else in ``metrics_dict()`` is identical across
+``shard_jobs=None`` / ``1`` / ``N``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
+    wait
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..stats.collectors import MacStats
+
+
+@dataclass(frozen=True)
+class ShardPlan:
+    """The cells-by-channel partition of one scenario.
+
+    ``channels`` lists the channels in use in first-appearance order
+    over ascending cell index (for round-robin assignment that is
+    simply 0, 1, ..., C-1); ``cells_by_channel`` is aligned with it,
+    each entry the ascending global cell indices on that channel.
+    """
+
+    channels: Tuple[int, ...]
+    cells_by_channel: Tuple[Tuple[int, ...], ...]
+
+    @classmethod
+    def from_config(cls, cfg) -> "ShardPlan":
+        cfg.validate_cells()
+        channels: Dict[int, List[int]] = {}
+        for cell in range(cfg.cells):
+            channels.setdefault(cfg.channel_of(cell), []).append(cell)
+        return cls(channels=tuple(channels),
+                   cells_by_channel=tuple(
+                       tuple(cells) for cells in channels.values()))
+
+    @property
+    def shard_count(self) -> int:
+        return len(self.channels)
+
+    def shards(self) -> List[Tuple[int, Tuple[int, ...]]]:
+        """(channel, cells) pairs, one per shard, in channel order."""
+        return list(zip(self.channels, self.cells_by_channel))
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-able plan summary (CLI output, ``shard_info``)."""
+        return {
+            "shards": self.shard_count,
+            "channels": list(self.channels),
+            "cells_by_channel": {
+                str(channel): list(cells)
+                for channel, cells in self.shards()},
+        }
+
+
+@dataclass
+class ShardOutcome:
+    """One shard's results, flattened to picklable plain data.
+
+    Live simulation objects (flows, clients, drivers, managers) never
+    cross the process boundary; everything a merged
+    ``ScenarioResult.metrics_dict()`` needs is extracted here, keyed
+    by *global* cell index so the merge can restore unsharded
+    ordering.  The FCT collectors themselves (plain-data record lists
+    / histograms) do ship — the merge reuses their exact ``merge``
+    methods.
+    """
+
+    channel: int
+    cell_indices: Tuple[int, ...]
+    #: cell -> [(flow id, goodput)] for static TCP flows, build order.
+    tcp_flows_by_cell: Dict[int, List[Tuple[int, float]]]
+    #: cell -> [(pseudo id, goodput, client)] for udp_download sinks.
+    udp_flows_by_cell: Dict[int, List[Tuple[int, float, str]]]
+    completion_times_ns: Dict[int, Optional[int]]
+    sender_counters: Dict[int, Dict[str, int]]
+    mac_stats: MacStats
+    driver_metrics: Dict[str, Dict[str, int]]
+    decomp_counters: Dict[str, int]
+    kernel_stats: Dict[str, int]
+    udp_background_goodput_mbps: Dict[str, float]
+    #: (cell index, cell block) in build (= ascending-cell) order.
+    cell_blocks: List[Tuple[int, Dict[str, Any]]] = field(
+        default_factory=list)
+    channel_block: Dict[str, Any] = field(default_factory=dict)
+    #: (cell index, FctCollector | FctAggregator) where churn ran.
+    collectors: List[Tuple[int, Any]] = field(default_factory=list)
+    wall_s: float = 0.0
+
+
+class ShardExecutionError(RuntimeError):
+    """One shard raised; identifies the shard for fault isolation."""
+
+    def __init__(self, channel: int, cells: Tuple[int, ...],
+                 cause: BaseException):
+        super().__init__(
+            f"shard for channel {channel} (cells {list(cells)}) "
+            f"failed: {type(cause).__name__}: {cause}")
+        self.channel = channel
+        self.cells = cells
+
+
+def execute_shard(cfg, cell_indices: Tuple[int, ...]) -> ShardOutcome:
+    """Run one channel's cells in a fresh simulator (the pool work
+    function — module-level so it pickles)."""
+    from .scenarios import _run_cells, driver_metrics_dict
+
+    started = time.perf_counter()
+    result = _run_cells(cfg, tuple(cell_indices))
+    per_flow = result.per_flow_goodput_mbps
+    tcp_flows: Dict[int, List[Tuple[int, float]]] = {}
+    udp_flows: Dict[int, List[Tuple[int, float, str]]] = {}
+    collectors: List[Tuple[int, Any]] = []
+    blocks: List[Tuple[int, Dict[str, Any]]] = []
+    for net, block in zip(result.cell_nets, result.cell_blocks):
+        tcp_flows[net.index] = [
+            (flow.flow_id, per_flow[flow.flow_id])
+            for flow in net.flows if flow.flow_id in per_flow]
+        udp_flows[net.index] = [
+            (pseudo_id, per_flow[pseudo_id], name)
+            for local, name in enumerate(net.udp_names)
+            for pseudo_id in (-(cfg.udp_index_base(net.index)
+                                + local + 1),)
+            if pseudo_id in per_flow]
+        if net.flow_manager is not None:
+            collectors.append((net.index, net.flow_manager.collector))
+        blocks.append((net.index, block))
+    channel = cfg.channel_of(cell_indices[0])
+    return ShardOutcome(
+        channel=channel,
+        cell_indices=tuple(cell_indices),
+        tcp_flows_by_cell=tcp_flows,
+        udp_flows_by_cell=udp_flows,
+        completion_times_ns=dict(result.completion_times_ns),
+        sender_counters={k: dict(v)
+                         for k, v in result.sender_counters.items()},
+        mac_stats=result.mac_stats,
+        driver_metrics=driver_metrics_dict(result.drivers),
+        decomp_counters=dict(result.decomp_counters),
+        kernel_stats=dict(result.kernel_stats),
+        udp_background_goodput_mbps=dict(
+            result.udp_background_goodput_mbps),
+        cell_blocks=blocks,
+        channel_block=dict(result.channel_blocks[0]),
+        collectors=collectors,
+        wall_s=time.perf_counter() - started,
+    )
+
+
+def _effective_jobs(shard_jobs: int, shard_count: int) -> int:
+    """Clamp the worker count; fall back to serial shards inside a
+    daemonic worker (a sweep pool's child cannot spawn its own pool —
+    serial shards produce identical metrics anyway)."""
+    jobs = min(max(1, shard_jobs), shard_count)
+    if jobs > 1 and multiprocessing.current_process().daemon:
+        return 1
+    return jobs
+
+
+def run_sharded(cfg, plan: ShardPlan, shard_jobs: int):
+    """Execute every shard of ``plan`` and merge the outcomes.
+
+    ``shard_jobs=1`` runs shards serially in-process; ``N > 1`` fans
+    them over a process pool with the sweep engine's submit/poll
+    shape (``wait(FIRST_COMPLETED)``), so a slow channel never blocks
+    collection of the others.  Per-shard faults are isolated into
+    :class:`ShardExecutionError` naming the channel and cells.
+    """
+    if cfg.trace:
+        raise ValueError(
+            "trace=True records a single simulator's frames; it "
+            "cannot span channel shards (run with shard_jobs=None)")
+    shards = plan.shards()
+    jobs = _effective_jobs(shard_jobs, plan.shard_count)
+    started = time.perf_counter()
+    outcomes: Dict[int, ShardOutcome] = {}
+    if jobs <= 1:
+        for channel, cells in shards:
+            try:
+                outcomes[channel] = execute_shard(cfg, cells)
+            except Exception as exc:
+                raise ShardExecutionError(channel, cells, exc) from exc
+        mode = "serial"
+    else:
+        with ProcessPoolExecutor(max_workers=jobs) as pool:
+            futures = {
+                pool.submit(execute_shard, cfg, cells): (channel, cells)
+                for channel, cells in shards}
+            pending = set(futures)
+            while pending:
+                done, pending = wait(pending,
+                                     return_when=FIRST_COMPLETED)
+                for future in done:
+                    channel, cells = futures[future]
+                    try:
+                        outcomes[channel] = future.result()
+                    except Exception as exc:
+                        raise ShardExecutionError(channel, cells,
+                                                  exc) from exc
+        mode = "parallel"
+    shard_info = {
+        "mode": mode,
+        "jobs": jobs,
+        "requested_jobs": shard_jobs,
+        "wall_s": time.perf_counter() - started,
+        "shard_wall_s": {
+            str(channel): outcomes[channel].wall_s
+            for channel, _ in shards},
+        "plan": plan.describe(),
+    }
+    return merge_outcomes(cfg, plan, outcomes, shard_info)
+
+
+def merge_outcomes(cfg, plan: ShardPlan,
+                   outcomes: Dict[int, ShardOutcome],
+                   shard_info: Optional[Dict[str, Any]] = None):
+    """Reassemble one ScenarioResult from per-channel outcomes.
+
+    Ordering discipline: everything order-sensitive is rebuilt in the
+    *unsharded* run's order — static flows across all cells (ascending
+    cell), then UDP sinks across all cells; cell blocks ascending;
+    channel blocks in plan order; FCT collectors merged ascending by
+    cell.  Float reductions over those sequences are then bit-identical
+    to the single-simulator run.
+    """
+    from .scenarios import ScenarioResult
+
+    ordered = [outcomes[channel] for channel in plan.channels]
+    by_cell_tcp: Dict[int, List[Tuple[int, float]]] = {}
+    by_cell_udp: Dict[int, List[Tuple[int, float, str]]] = {}
+    for outcome in ordered:
+        by_cell_tcp.update(outcome.tcp_flows_by_cell)
+        by_cell_udp.update(outcome.udp_flows_by_cell)
+    all_cells = sorted(by_cell_tcp)
+
+    per_flow: Dict[int, float] = {}
+    for cell in all_cells:
+        for flow_id, mbps in by_cell_tcp[cell]:
+            per_flow[flow_id] = mbps
+    for cell in all_cells:
+        for pseudo_id, mbps, _name in by_cell_udp[cell]:
+            per_flow[pseudo_id] = mbps
+
+    completion: Dict[int, Optional[int]] = {}
+    sender_counters: Dict[int, Dict[str, int]] = {}
+    background: Dict[str, float] = {}
+    driver_metrics: Dict[str, Dict[str, int]] = {}
+    mac_stats = MacStats()
+    decomp: Dict[str, int] = {}
+    kernel: Dict[str, int] = {}
+    for outcome in ordered:
+        completion.update(outcome.completion_times_ns)
+        sender_counters.update(outcome.sender_counters)
+        background.update(outcome.udp_background_goodput_mbps)
+        driver_metrics.update(outcome.driver_metrics)
+        mac_stats.merge(outcome.mac_stats)
+        for key, value in outcome.decomp_counters.items():
+            decomp[key] = decomp.get(key, 0) + value
+        for key, value in outcome.kernel_stats.items():
+            kernel[key] = kernel.get(key, 0) + value
+
+    collectors = sorted(
+        (pair for outcome in ordered for pair in outcome.collectors),
+        key=lambda pair: pair[0])
+    fct_summary: Optional[Dict[str, Any]] = None
+    if len(collectors) == 1:
+        fct_summary = collectors[0][1].summary(cfg.duration_ns)
+    elif collectors:
+        merged = type(collectors[0][1])()
+        for _, collector in collectors:
+            merged.merge(collector)
+        fct_summary = merged.summary(cfg.duration_ns)
+
+    cell_blocks = [
+        block for _, block in sorted(
+            (pair for outcome in ordered for pair in
+             outcome.cell_blocks),
+            key=lambda pair: pair[0])]
+    channel_blocks = [dict(outcome.channel_block)
+                      for outcome in ordered]
+    utilisation = sum(
+        block["utilisation"] for block in channel_blocks) \
+        / len(channel_blocks) if channel_blocks else 0.0
+
+    return ScenarioResult(
+        config=cfg,
+        per_flow_goodput_mbps=per_flow,
+        mac_stats=mac_stats,
+        driver_stats={},
+        decomp_counters=decomp,
+        medium_frames_sent=sum(o.channel_block["frames_sent"]
+                               for o in ordered),
+        medium_frames_collided=sum(o.channel_block["frames_collided"]
+                                   for o in ordered),
+        medium_utilisation=utilisation,
+        completion_times_ns=completion,
+        sender_counters=sender_counters,
+        kernel_stats=kernel,
+        fct=fct_summary,
+        udp_background_goodput_mbps=background,
+        cell_blocks=cell_blocks,
+        channel_blocks=channel_blocks,
+        driver_metrics=driver_metrics,
+        shard_info=shard_info,
+    )

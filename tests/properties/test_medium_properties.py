@@ -20,13 +20,17 @@ import hypothesis.strategies as st
 from hypothesis import given, settings
 
 from repro.sim.engine import Simulator
-from repro.sim.medium import Medium
+from repro.sim.medium import ChannelizedMedium, Medium
 
 from tests.helpers import FakeFrame, RecordingListener
 
 #: One scheduled transmission: (cell, start_ns, duration_ns).
 TX = st.tuples(st.integers(0, 2), st.integers(0, 2000),
                st.integers(1, 600))
+
+#: A channel-tagged transmission: (channel, cell, start_ns, dur_ns).
+CH_TX = st.tuples(st.integers(0, 2), st.integers(0, 2),
+                  st.integers(0, 2000), st.integers(1, 600))
 
 
 def interval_union(intervals):
@@ -135,3 +139,73 @@ class TestBusyWindowProperties:
         # run, so the disjointness argument bounds their sum by 1.
         if window >= max(s + d for _, s, d in txs):
             assert sum(shares) <= 1.0
+
+
+def build_channelized(txs):
+    """Drive one ChannelizedMedium with channel-tagged transmissions."""
+    sim = Simulator()
+    media = ChannelizedMedium(sim)
+    senders = {}
+    for channel, cell, _, _ in txs:
+        if channel not in media.channels():
+            media.add_channel(channel)
+        key = (channel, cell)
+        if key not in senders:
+            senders[key] = RecordingListener(sim,
+                                             f"s{channel}-{cell}")
+            media.medium(channel).attach(senders[key], cell=cell)
+
+    def start_tx(channel, cell, duration):
+        media.medium(channel).transmit(senders[(channel, cell)],
+                                       FakeFrame(), duration)
+
+    for channel, cell, start, duration in txs:
+        sim.schedule(start, start_tx, channel, cell, duration)
+    sim.run()
+    return media
+
+
+class TestMultiChannelProperties:
+    """The per-channel scoping of every single-medium invariant.
+
+    Channels are separate ``Medium`` instances, so cross-channel
+    transmissions must be mutually invisible: each channel's busy
+    union and airtime-share bound depend only on that channel's
+    transmissions, while the *city-wide* share sum may exceed 1 (one
+    fully-busy medium per channel)."""
+
+    @settings(max_examples=100, deadline=None)
+    @given(txs=st.lists(CH_TX, min_size=1, max_size=14))
+    def test_per_channel_busy_union_ignores_other_channels(self, txs):
+        media = build_channelized(txs)
+        for channel in media.channels():
+            expected = interval_union(
+                (start, start + duration)
+                for ch, _, start, duration in txs if ch == channel)
+            assert media.medium(channel).busy_time == expected
+
+    @settings(max_examples=100, deadline=None)
+    @given(txs=st.lists(CH_TX, min_size=1, max_size=14))
+    def test_airtime_share_sums_bounded_per_channel(self, txs):
+        """The <= 1 disjointness bound holds *within* each channel;
+        summed across channels it is bounded by the channel count."""
+        media = build_channelized(txs)
+        window = max(s + d for _, _, s, d in txs)
+        total = 0.0
+        for channel in media.channels():
+            medium = media.medium(channel)
+            shares = sum(medium.cell_airtime_share(c, window)
+                         for c in medium.cell_keys())
+            assert 0.0 <= shares <= 1.0
+            total += shares
+        assert total <= len(media.channels())
+
+    @settings(max_examples=100, deadline=None)
+    @given(txs=st.lists(CH_TX, min_size=1, max_size=14))
+    def test_aggregates_sum_over_channels(self, txs):
+        media = build_channelized(txs)
+        assert media.frames_sent == \
+            sum(media.medium(c).frames_sent for c in media.channels())
+        assert media.frames_sent + media.frames_collided >= len(txs)
+        window = max(s + d for _, _, s, d in txs)
+        assert 0.0 <= media.utilisation(window) <= 1.0

@@ -19,7 +19,8 @@ from repro.workloads import registry
 
 QUICK = dict(duration_ns=900 * MS, warmup_ns=400 * MS)
 
-CELL_KEYS = {"label", "ap", "clients", "aggregate_goodput_mbps",
+CELL_KEYS = {"label", "ap", "clients", "channel",
+             "aggregate_goodput_mbps",
              "per_flow_goodput_mbps", "fairness_index", "carried_mbps",
              "airtime_share", "frames_sent", "frames_collided", "fct",
              "udp_background_goodput_mbps"}

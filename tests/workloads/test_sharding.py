@@ -1,0 +1,178 @@
+"""Channel sharding: the plan/shard/merge pipeline's oracles.
+
+The headline equivalence (this PR's analogue of the silent-cell
+oracle): a multi-channel scenario executed as one shard per channel —
+serially or across a process pool — must produce metrics identical to
+the single-simulator run of the same config.  Cross-channel
+invisibility makes that an exact, bitwise claim for everything except
+``kernel_stats`` (per-shard simulators schedule their own snapshot
+events, so event counts differ by construction — the one documented
+exception).
+
+A second, stronger oracle pins the channel semantics themselves:
+N cells on N distinct channels must each reproduce the corresponding
+*isolated single-cell run* bit-for-bit — sharding is not merely
+self-consistent, it equals the world where the other channels never
+existed.
+"""
+
+import json
+
+import pytest
+
+from repro import ScenarioConfig, run_scenario
+from repro.sim.units import MS
+from repro.traffic.arrivals import ArrivalSpec, SizeSpec
+from repro.workloads.sharding import ShardExecutionError, ShardPlan, \
+    execute_shard
+
+from tests.workloads.test_multi_cell import base_config, normalised
+
+CHURN = dict(traffic="dynamic",
+             arrivals=ArrivalSpec(
+                 kind="poisson", rate_per_s=30.0,
+                 size=SizeSpec(kind="lognormal",
+                               median_bytes=40_000, sigma=1.0)))
+
+
+def metrics_except_kernel(result):
+    metrics = normalised(result.metrics_dict())
+    metrics.pop("kernel_stats")
+    return metrics
+
+
+class TestShardPlan:
+    def test_round_robin_partition(self):
+        plan = ShardPlan.from_config(base_config(cells=5, channels=3))
+        assert plan.channels == (0, 1, 2)
+        assert plan.cells_by_channel == ((0, 3), (1, 4), (2,))
+        assert plan.shard_count == 3
+
+    def test_explicit_map_first_appearance_order(self):
+        plan = ShardPlan.from_config(
+            base_config(cells=4, channels=3,
+                        cell_channel=(2, 0, 2, 1)))
+        assert plan.channels == (2, 0, 1)
+        assert plan.cells_by_channel == ((0, 2), (1,), (3,))
+
+    def test_single_channel_is_one_shard(self):
+        plan = ShardPlan.from_config(base_config(cells=3))
+        assert plan.shard_count == 1
+        assert plan.cells_by_channel == ((0, 1, 2),)
+
+    def test_describe_is_json_able(self):
+        plan = ShardPlan.from_config(base_config(cells=4, channels=2))
+        payload = json.loads(json.dumps(plan.describe()))
+        assert payload["shards"] == 2
+        assert payload["cells_by_channel"] == {"0": [0, 2],
+                                               "1": [1, 3]}
+
+    def test_invalid_channel_map_rejected(self):
+        with pytest.raises(ValueError, match="channel"):
+            ShardPlan.from_config(
+                base_config(cells=2, channels=2, cell_channel=(0, 5)))
+
+
+class TestShardEquivalence:
+    """Sharded == unsharded, bit for bit (modulo kernel_stats)."""
+
+    @pytest.fixture(scope="class")
+    def static_runs(self):
+        cfg = base_config(cells=4, channels=2, n_clients=1, seed=3)
+        return (run_scenario(cfg), run_scenario(cfg, shard_jobs=1))
+
+    def test_static_metrics_identical(self, static_runs):
+        unsharded, sharded = static_runs
+        assert metrics_except_kernel(unsharded) == \
+            metrics_except_kernel(sharded)
+
+    def test_kernel_stats_are_per_shard_sums(self, static_runs):
+        unsharded, sharded = static_runs
+        # Two shards each schedule their own pair of snapshot events:
+        # the merged event counts exceed the single simulator's.
+        assert sharded.kernel_stats["events_executed"] > \
+            unsharded.kernel_stats["events_executed"]
+
+    def test_shard_info_records_the_plan(self, static_runs):
+        _, sharded = static_runs
+        info = sharded.shard_info
+        assert info["mode"] == "serial"
+        assert info["plan"]["shards"] == 2
+        assert set(info["shard_wall_s"]) == {"0", "1"}
+
+    def test_churn_metrics_identical(self):
+        cfg = base_config(cells=4, channels=2, n_clients=1, seed=7,
+                          duration_ns=1200 * MS, warmup_ns=400 * MS,
+                          **CHURN)
+        unsharded = run_scenario(cfg)
+        sharded = run_scenario(cfg, shard_jobs=1)
+        assert metrics_except_kernel(unsharded) == \
+            metrics_except_kernel(sharded)
+
+    def test_parallel_equals_serial_including_kernel(self):
+        cfg = base_config(cells=4, channels=2, n_clients=1, seed=3)
+        serial = run_scenario(cfg, shard_jobs=1)
+        parallel = run_scenario(cfg, shard_jobs=2)
+        assert normalised(serial.metrics_dict()) == \
+            normalised(parallel.metrics_dict())
+        assert parallel.shard_info["mode"] == "parallel"
+
+    def test_single_channel_sharding_is_identity(self):
+        """One channel -> one shard -> run_scenario's plain path: the
+        shard machinery must not even engage."""
+        cfg = base_config(cells=2, n_clients=1, seed=2)
+        plain = run_scenario(cfg)
+        routed = run_scenario(cfg, shard_jobs=4)
+        assert normalised(plain.metrics_dict()) == \
+            normalised(routed.metrics_dict())
+        assert routed.shard_info is None
+
+
+class TestIsolationOracle:
+    """N cells on N distinct channels == N isolated single-cell runs."""
+
+    def assert_cells_match_isolated_runs(self, cfg):
+        combined = run_scenario(cfg, shard_jobs=1)
+        plan = ShardPlan.from_config(cfg)
+        for channel, cells in plan.shards():
+            assert len(cells) == 1
+            outcome = execute_shard(cfg, cells)
+            cell = cells[0]
+            block = dict(combined.cell_blocks[cell])
+            shard_block = dict(outcome.cell_blocks[0][1])
+            assert normalised(block) == normalised(shard_block)
+            assert outcome.channel_block == \
+                combined.channel_blocks[plan.channels.index(channel)]
+
+    def test_static_cells_isolated(self):
+        self.assert_cells_match_isolated_runs(
+            base_config(cells=3, channels=3, n_clients=1, seed=5))
+
+    def test_churn_cells_isolated(self):
+        self.assert_cells_match_isolated_runs(
+            base_config(cells=3, channels=3, n_clients=1, seed=5,
+                        duration_ns=1200 * MS, warmup_ns=400 * MS,
+                        **CHURN))
+
+
+class TestShardGuards:
+    def test_trace_refuses_to_shard(self):
+        cfg = base_config(cells=2, channels=2, trace=True)
+        with pytest.raises(ValueError, match="trace"):
+            run_scenario(cfg, shard_jobs=1)
+
+    def test_trace_refuses_multi_channel(self):
+        cfg = base_config(cells=2, channels=2, trace=True)
+        with pytest.raises(ValueError, match="trace"):
+            run_scenario(cfg)
+
+    def test_shard_failure_names_the_shard(self):
+        cfg = base_config(cells=2, channels=2,
+                          traffic="nonsense")
+        with pytest.raises(ValueError):
+            # Traffic validation fires before sharding: the config is
+            # rejected up front, not wrapped per shard.
+            run_scenario(cfg, shard_jobs=1)
+        error = ShardExecutionError(1, (1,), RuntimeError("boom"))
+        assert "channel 1" in str(error)
+        assert error.cells == (1,)
