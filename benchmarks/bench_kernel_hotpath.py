@@ -29,6 +29,11 @@ events per wall-second:
   three equal shards on two workers; shard3 runs all channels
   concurrently).
 
+``--telemetry-overhead`` additionally times the observability layer
+(PR 8): sampler-off vs sampler-on wall clock for the quickstart and
+city-20cell topologies — the off rows double as proof the disabled
+instrumentation branch costs nothing measurable.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_kernel_hotpath.py --quick \
@@ -53,6 +58,8 @@ from typing import Dict, List, Optional
 
 from repro.core.policies import HackPolicy
 from repro.experiments.common import format_table
+from repro.obs import TelemetryConfig
+from repro.sim.units import MS
 from repro.workloads import registry
 from repro.workloads.scenarios import run_scenario
 
@@ -88,6 +95,14 @@ def measure(label: str, seed: int, quick: bool) -> Dict[str, object]:
     result = run_scenario(config, shard_jobs=SHARD_JOBS.get(label))
     wall_s = time.perf_counter() - started
     kernel = result.kernel_stats
+    if not kernel and result.shard_blocks:
+        # Merged results keep kernel counters per shard (the shards
+        # never shared a kernel); the bench's throughput rows want the
+        # total work done across the run, so sum the blocks here.
+        kernel = {key: sum(block["kernel_stats"][key]
+                           for block in result.shard_blocks)
+                  for key in ("events_executed", "events_scheduled",
+                              "events_cancelled", "heap_compactions")}
     return {
         "events_executed": kernel["events_executed"],
         "events_scheduled": kernel["events_scheduled"],
@@ -102,6 +117,50 @@ def measure(label: str, seed: int, quick: bool) -> Dict[str, object]:
 
 def run_benchmark(seed: int, quick: bool) -> Dict[str, Dict[str, object]]:
     return {label: measure(label, seed, quick) for label in TOPOLOGIES}
+
+
+#: topologies the telemetry-overhead measurement covers: the
+#: single-cell hot path and the channel-heavy city grid.
+TELEMETRY_TOPOLOGIES = ("quickstart", "city-20cell")
+
+
+def measure_telemetry_overhead(seed: int,
+                               quick: bool) -> Dict[str, object]:
+    """Sampler-on vs sampler-off wall clock for the observability PR.
+
+    Two claims ride on these numbers: the *disabled* path is the plain
+    hot path (the kernel checks one attribute and takes the historical
+    loop — that cost is already inside every ``measure`` row), and the
+    *enabled* path (10 ms sampler + kernel span timing) stays cheap
+    enough to leave on during debugging runs.  Paths and exports stay
+    off so this times instrumentation, not file IO.
+    """
+    overhead = {}
+    for label in TELEMETRY_TOPOLOGIES:
+        scenario, overrides = TOPOLOGIES[label]
+        if quick:
+            overrides = dict(overrides, **QUICK_DURATIONS)
+        config = registry.build(scenario, seed=seed, **overrides)
+        started = time.perf_counter()
+        run_scenario(config)
+        off_wall_s = time.perf_counter() - started
+        telemetry = TelemetryConfig(sample_interval_ns=10 * MS)
+        started = time.perf_counter()
+        result = run_scenario(config, telemetry=telemetry)
+        on_wall_s = time.perf_counter() - started
+        block = result.telemetry
+        spans = block["spans"] or {}
+        overhead[label] = {
+            "off_wall_s": round(off_wall_s, 3),
+            "on_wall_s": round(on_wall_s, 3),
+            "overhead_ratio": round(on_wall_s / off_wall_s, 3)
+            if off_wall_s > 0 else 0,
+            "samples": block["samples"],
+            "span_events": spans.get("events", 0),
+            "span_wall_s": round(
+                spans.get("total_wall_ns", 0) / 1e9, 3),
+        }
+    return overhead
 
 
 PROFILE_TOP_N = 25
@@ -191,9 +250,18 @@ def main(argv=None) -> int:
                              "honest) and write the top "
                              f"{PROFILE_TOP_N} cumulative functions "
                              "per topology as JSON")
+    parser.add_argument("--telemetry-overhead", action="store_true",
+                        help="also time the observability layer: "
+                             "sampler-on vs sampler-off wall clock "
+                             f"for {', '.join(TELEMETRY_TOPOLOGIES)} "
+                             "(included in --out when set)")
     args = parser.parse_args(argv)
 
     measured = run_benchmark(args.seed, args.quick)
+    telemetry_overhead = None
+    if args.telemetry_overhead:
+        telemetry_overhead = measure_telemetry_overhead(
+            args.seed, args.quick)
     baseline = None
     if args.baseline:
         with open(args.baseline) as handle:
@@ -203,14 +271,26 @@ def main(argv=None) -> int:
                     in payload.get(mode, {}).items()
                     if "before" in entry}
     print_report(measured, baseline)
+    if telemetry_overhead:
+        print()
+        for label, row in telemetry_overhead.items():
+            print(f"  telemetry overhead {label}: "
+                  f"{row['off_wall_s']:.2f}s off -> "
+                  f"{row['on_wall_s']:.2f}s on "
+                  f"({row['overhead_ratio']:.2f}x, "
+                  f"{row['samples']} samples, "
+                  f"{row['span_events']} spans)")
     if args.out:
+        payload = {
+            "benchmark": "kernel_hotpath",
+            "quick": args.quick,
+            "seed": args.seed,
+            "topologies": measured,
+        }
+        if telemetry_overhead:
+            payload["telemetry_overhead"] = telemetry_overhead
         with open(args.out, "w") as handle:
-            json.dump({
-                "benchmark": "kernel_hotpath",
-                "quick": args.quick,
-                "seed": args.seed,
-                "topologies": measured,
-            }, handle, indent=1, sort_keys=True)
+            json.dump(payload, handle, indent=1, sort_keys=True)
         print(f"\nwrote {args.out}")
     if args.profile:
         profiles = run_profiles(args.seed, args.quick)

@@ -36,13 +36,14 @@ def reference_events_per_s(reference: Dict,
                            quick: bool) -> Dict[str, float]:
     """topology -> committed events/s from the newest 'after' block.
 
-    Blocks are searched newest-first — the PR 7 city-scale block, the
-    PR 5 multi-AP block, the PR 4 data-plane block, then the PR 2
-    top-level block — so ``BENCH_kernel.json`` keeps its full
-    before/after history while the gate always tracks the latest
-    commitment."""
+    Blocks are searched newest-first — the PR 8 observability block,
+    the PR 7 city-scale block, the PR 5 multi-AP block, the PR 4
+    data-plane block, then the PR 2 top-level block — so
+    ``BENCH_kernel.json`` keeps its full before/after history while
+    the gate always tracks the latest commitment."""
     mode = "quick" if quick else "full"
     candidates = [
+        reference.get("pr8_observability", {}).get(mode),
         reference.get("pr7_city_scale", {}).get(mode),
         reference.get("pr5_multi_ap", {}).get(mode),
         reference.get("pr4_data_plane", {}).get(mode),

@@ -1,22 +1,30 @@
 """Top-level command-line interface.
 
-Four subcommands::
+Five subcommands::
 
     python -m repro.cli simulate --phy 11n --rate 150 --clients 4 \\
         --policy more_data --duration 4 --seed 2
     python -m repro.cli simulate --scenario wireless-backup
     python -m repro.cli simulate --scenario churn-web --seed 3
+    python -m repro.cli simulate --cells 4 --channels 2 \\
+        --telemetry run.jsonl --trace-export run.trace.json
     python -m repro.cli scenarios
     python -m repro.cli experiments fig10 fig11 --quick
     python -m repro.cli sweep all --quick --jobs 4 --out results.json
     python -m repro.cli sweep fct_churn --quick --jobs 2
     python -m repro.cli sweep scenario:multi-client --seeds 5 --jobs 2
+    python -m repro.cli report run.jsonl
 
 ``simulate`` runs one scenario (ad-hoc flags or a registry name) and
-prints a human-readable report; ``scenarios`` lists the registry;
-``experiments`` forwards to :mod:`repro.experiments.runner`; ``sweep``
-executes experiment grids or registered scenarios through the parallel
-sweep engine, with per-cell caching and JSON artifacts.
+prints a human-readable report — ``--telemetry`` / ``--trace-export``
+/ ``--sample-interval`` add the observability layer (time-series JSONL
+plus a Chrome-trace JSON loadable in chrome://tracing or Perfetto);
+``scenarios`` lists the registry; ``experiments`` forwards to
+:mod:`repro.experiments.runner`; ``sweep`` executes experiment grids
+or registered scenarios through the parallel sweep engine, with
+per-cell caching, JSON artifacts and per-point telemetry
+(``--telemetry-dir``); ``report`` summarises a telemetry JSONL
+artifact (kernel hot spots, airtime, queue peaks).
 """
 
 from __future__ import annotations
@@ -108,6 +116,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="bounded-memory streaming FCT aggregation "
                           "for churn scenarios (percentiles "
                           "histogram-quantised at ~2.3%% resolution)")
+    sim.add_argument("--telemetry", default=None, metavar="PATH",
+                     help="stream time-series telemetry (per-channel "
+                          "utilisation, AP/wired queue depths, live "
+                          "flows, HACK buffer, ROHC CIDs) as JSONL "
+                          "to PATH; summarise with `repro report`")
+    sim.add_argument("--trace-export", default=None, metavar="PATH",
+                     help="write a Chrome trace-event JSON (frames + "
+                          "kernel spans + counter tracks) loadable in "
+                          "chrome://tracing or Perfetto; refused for "
+                          "sharded runs")
+    sim.add_argument("--sample-interval", type=float, default=10.0,
+                     metavar="MS",
+                     help="telemetry sampling interval in simulated "
+                          "milliseconds (default 10)")
 
     sub.add_parser("scenarios", help="list registered scenarios")
 
@@ -135,6 +157,16 @@ def _build_parser() -> argparse.ArgumentParser:
                             "the named sweeps and report which cells "
                             "are complete/missing/failed/corrupt "
                             "(exit 0 when complete, 3 otherwise)")
+
+    report = sub.add_parser(
+        "report",
+        help="summarise a telemetry JSONL artifact")
+    report.add_argument("path", help="telemetry JSONL file "
+                                     "(simulate --telemetry / sweep "
+                                     "--telemetry-dir output)")
+    report.add_argument("--top", type=int, default=10, metavar="N",
+                        help="kernel span owners / queue gauges shown "
+                             "(default 10)")
     return parser
 
 
@@ -168,8 +200,20 @@ def _simulate(args: argparse.Namespace) -> int:
             extra_response_delay_ns=usec(37) if args.sora else 0,
             ack_timeout_extra_ns=usec(60) if args.sora else 0,
             stagger_ns=50 * MS, stream_stats=args.stream_stats)
+    telemetry = None
+    if args.telemetry or args.trace_export:
+        from .obs import TelemetryConfig
+        if args.sample_interval <= 0:
+            print("error: --sample-interval must be positive",
+                  file=sys.stderr)
+            return 2
+        telemetry = TelemetryConfig(
+            sample_interval_ns=int(args.sample_interval * MS),
+            telemetry_path=args.telemetry,
+            trace_export_path=args.trace_export)
     started = time.perf_counter()
-    result = run_scenario(config, shard_jobs=args.shard_jobs)
+    result = run_scenario(config, shard_jobs=args.shard_jobs,
+                          telemetry=telemetry)
     wall_s = time.perf_counter() - started
     print(f"aggregate goodput : "
           f"{result.aggregate_goodput_mbps:8.2f} Mbps")
@@ -245,13 +289,40 @@ def _simulate(args: argparse.Namespace) -> int:
               f"{fct['carried_load_mbps']:.2f} Mbps")
     if args.kernel_stats:
         kernel = result.kernel_stats
-        rate = kernel["events_executed"] / wall_s if wall_s > 0 else 0.0
-        print(f"kernel events     : "
-              f"{kernel['events_executed']} executed "
-              f"({rate:,.0f}/s wall), "
-              f"{kernel['events_cancelled']} cancelled, "
-              f"{kernel['events_scheduled']} scheduled")
-        print(f"heap compactions  : {kernel['heap_compactions']}")
+        if kernel:
+            rate = kernel["events_executed"] / wall_s \
+                if wall_s > 0 else 0.0
+            print(f"kernel events     : "
+                  f"{kernel['events_executed']} executed "
+                  f"({rate:,.0f}/s wall), "
+                  f"{kernel['events_cancelled']} cancelled, "
+                  f"{kernel['events_scheduled']} scheduled")
+            print(f"heap compactions  : {kernel['heap_compactions']}")
+        if result.shard_blocks:
+            # Sharded runs: each shard ran its own kernel, so the
+            # counters are per shard, never summed.
+            for block in result.shard_blocks:
+                shard_kernel = block["kernel_stats"]
+                print(f"  shard ch{block['channel']} "
+                      f"(cells {block['cells']}): "
+                      f"{shard_kernel['events_executed']} executed, "
+                      f"{shard_kernel['events_cancelled']} cancelled, "
+                      f"{shard_kernel['events_scheduled']} scheduled, "
+                      f"{shard_kernel['heap_compactions']} "
+                      f"compactions")
+    if result.telemetry is not None:
+        tele = result.telemetry
+        print(f"telemetry         : {tele['samples']} samples @ "
+              f"{tele['sample_interval_ns'] / MS:g} ms")
+        spans = tele.get("spans")
+        if spans is not None:
+            print(f"kernel spans      : {spans['events']} events, "
+                  f"{spans['total_wall_ns'] / 1e6:.1f} ms wall")
+        if args.telemetry:
+            print(f"telemetry artifact: {args.telemetry}")
+        if args.trace_export:
+            print(f"chrome trace      : {args.trace_export} "
+                  f"(load in chrome://tracing or ui.perfetto.dev)")
     return 0
 
 
@@ -398,6 +469,20 @@ def _sweep_status(args: argparse.Namespace,
     return 0 if all_complete else 3
 
 
+def _report(args: argparse.Namespace) -> int:
+    from .obs import TelemetryArtifactError, print_report
+    try:
+        print_report(args.path, top=args.top)
+    except OSError as error:
+        print(f"error: cannot read {args.path}: {error}",
+              file=sys.stderr)
+        return 2
+    except TelemetryArtifactError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
     if args.command == "simulate":
@@ -406,6 +491,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _scenarios(args)
     if args.command == "sweep":
         return _sweep(args)
+    if args.command == "report":
+        return _report(args)
     forwarded = list(args.names)
     if args.quick:
         forwarded.append("--quick")

@@ -99,6 +99,17 @@ class HackDriver(MacUpper):
             self._peers[name] = _PeerState(self.config.init_vanilla_acks)
         return self._peers[name]
 
+    def buffered_acks(self) -> int:
+        """Compressed ACKs held back awaiting a ride, across all peers
+        (the telemetry sampler's HACK buffer-depth probe)."""
+        return sum(len(ps.buffer) for ps in self._peers.values())
+
+    def rohc_context_count(self) -> int:
+        """Active ROHC compressor contexts (CIDs) across all peers
+        (the telemetry sampler's CID-occupancy probe)."""
+        return sum(len(ps.compressor.contexts)
+                   for ps in self._peers.values())
+
     # ==================================================================
     # Outgoing path (from the node's network stack)
     # ==================================================================

@@ -228,7 +228,8 @@ def _resolve(dotted: str) -> Callable[..., Metrics]:
 
 
 def execute_point(point: SweepPoint,
-                  shard_jobs: Optional[int] = None) -> Metrics:
+                  shard_jobs: Optional[int] = None,
+                  telemetry_dir: Optional[str] = None) -> Metrics:
     """Produce one point's metrics (the process-pool work function).
 
     ``shard_jobs`` is an *execution* knob, not part of the point's
@@ -236,10 +237,31 @@ def execute_point(point: SweepPoint,
     channel-shard pipeline (``run_scenario(cfg, shard_jobs=...)``)
     without perturbing cache signatures — sharded and unsharded
     executions of the same config produce the same metrics record.
+
+    ``telemetry_dir`` (another execution knob) runs each scenario
+    point with the observability sampler on, streaming one JSONL
+    artifact per point (``<signature>.jsonl``, the same content hash
+    that keys the cache).  The ``"telemetry"`` block is stripped from
+    the returned metrics so cached records stay byte-identical to
+    telemetry-off runs.
     """
     if point.config is not None:
-        return scenario_metrics(
-            run_scenario(point.config, shard_jobs=shard_jobs))
+        telemetry = None
+        if telemetry_dir is not None:
+            from ..obs import TelemetryConfig
+            telemetry = TelemetryConfig(telemetry_path=os.path.join(
+                telemetry_dir, point_signature(point) + ".jsonl"))
+        metrics = scenario_metrics(
+            run_scenario(point.config, shard_jobs=shard_jobs,
+                         telemetry=telemetry))
+        metrics.pop("telemetry", None)
+        if telemetry is not None:
+            # Per-shard telemetry blocks carry host wall times; reset
+            # them so a sharded+telemetry record equals the sharded
+            # telemetry-off record byte for byte.
+            for block in metrics.get("shards", ()):
+                block["telemetry"] = None
+        return metrics
     metrics = _resolve(point.fn)(**dict(point.fn_kwargs))
     if not isinstance(metrics, dict):
         raise TypeError(
@@ -664,7 +686,8 @@ class SweepRunner:
                  retry_backoff_s: float = 0.5,
                  progress: Optional[
                      Callable[[SweepProgress], None]] = None,
-                 shard_jobs: Optional[int] = None):
+                 shard_jobs: Optional[int] = None,
+                 telemetry_dir: Optional[Union[str, Path]] = None):
         if jobs is not None and jobs <= 0:
             jobs = os.cpu_count() or 1
         self.jobs = jobs
@@ -679,6 +702,11 @@ class SweepRunner:
         #: ``jobs > 1`` worker pool the shard layer falls back to
         #: serial shards on its own (daemonic-worker guard).
         self.shard_jobs = shard_jobs
+        #: Per-point telemetry JSONL output directory (execution knob;
+        #: see ``execute_point``).  Cached points are not re-run, so
+        #: only freshly executed points leave artifacts.
+        self.telemetry_dir = str(telemetry_dir) \
+            if telemetry_dir is not None else None
         self._stop_signal: Optional[int] = None
 
     # -- interruption --------------------------------------------------
@@ -743,7 +771,8 @@ class SweepRunner:
                 if attempt > 1:
                     time.sleep(self.retry_backoff_s * (attempt - 1))
                 try:
-                    metrics = execute_point(point, self.shard_jobs)
+                    metrics = execute_point(point, self.shard_jobs,
+                                            self.telemetry_dir)
                 except Exception as exc:
                     last_error = exc
                     if self._stop_signal is not None:
@@ -767,7 +796,8 @@ class SweepRunner:
             attempts[index] += 1
             futures[pool.submit(execute_point,
                                 state.spec.points[index],
-                                self.shard_jobs)] = index
+                                self.shard_jobs,
+                                self.telemetry_dir)] = index
 
         try:
             for index in pending:

@@ -75,6 +75,13 @@ def add_sweep_arguments(parser: argparse.ArgumentParser) -> None:
                              "N > 1 = shard worker pool (metrics are "
                              "identical either way; single-channel "
                              "points are unaffected)")
+    parser.add_argument("--telemetry-dir", default=None,
+                        metavar="DIR",
+                        help="run every freshly-executed point with "
+                             "the observability sampler on, writing "
+                             "one telemetry JSONL artifact per point "
+                             "(<signature>.jsonl) into DIR; metrics "
+                             "and cache signatures are unchanged")
     parser.add_argument("--stream-stats", action="store_true",
                         help="bounded-memory streaming FCT "
                              "aggregation per cell (peak FCT-record "
@@ -97,7 +104,9 @@ def make_runner(args: argparse.Namespace) -> SweepRunner:
     return SweepRunner(jobs=args.jobs, cache_dir=cache_dir,
                        retries=getattr(args, "retries", 0),
                        progress=progress,
-                       shard_jobs=getattr(args, "shard_jobs", None))
+                       shard_jobs=getattr(args, "shard_jobs", None),
+                       telemetry_dir=getattr(args, "telemetry_dir",
+                                             None))
 
 
 def write_artifacts(path: str, artifacts: dict) -> None:

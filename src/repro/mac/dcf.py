@@ -194,6 +194,13 @@ class DcfMac(MediumListener):
             extra = len(orig.retry_queue) + len(orig.in_flight)
         return self.queue_depth(dst) + extra
 
+    def total_backlog(self) -> int:
+        """Backlog summed over every destination (telemetry probe:
+        the station's whole MAC-level queue occupancy)."""
+        destinations = set(self._queues)
+        destinations.update(self._originators)
+        return sum(self.backlog(dst) for dst in destinations)
+
     def remove_from_queue(self, dst: str, predicate) -> List[Any]:
         """Withdraw queued (not yet MPDU-wrapped) payloads matching
         ``predicate``.  Used by the opportunistic HACK policy to yank

@@ -37,6 +37,12 @@ class ApNode:
     def attach_link(self, link: WiredLink) -> None:
         self.link = link
 
+    def queue_depth(self) -> int:
+        """Total downstream MAC backlog across all clients (fresh,
+        retry and in-flight packets) — the telemetry sampler's AP
+        queue probe."""
+        return self.driver.mac.total_backlog()
+
     # ------------------------------------------------------------------
     def receive_wired(self, packet: Any) -> None:
         """Server -> client packets: queue on the WLAN for packet.dst."""

@@ -1,0 +1,43 @@
+"""repro.obs — the observability layer.
+
+Kernel span instrumentation (:mod:`~repro.obs.spans`), the periodic
+time-series sampler and telemetry session (:mod:`~repro.obs.sampler`),
+the mergeable metrics registry (:mod:`~repro.obs.metrics`),
+Chrome-trace export (:mod:`~repro.obs.export`) and the artifact
+reader/summarizer behind ``repro report`` (:mod:`~repro.obs.report`).
+
+Entry point for simulations: pass ``telemetry=TelemetryConfig(...)``
+to :func:`repro.workloads.scenarios.run_scenario` (CLI:
+``repro simulate --telemetry PATH --trace-export PATH
+--sample-interval MS``).  Telemetry is an execution knob — disabled
+(the default) it costs one branch per ``Simulator.run`` call and
+leaves every metric and cache signature bit-identical.
+"""
+
+from .export import chrome_trace, write_chrome_trace
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry
+from .report import TelemetryArtifactError, format_report, \
+    load_telemetry, print_report
+from .sampler import TelemetryConfig, TelemetrySession, \
+    telemetry_meta, write_telemetry_file
+from .spans import KernelInstrument, merge_span_blocks, owner_key
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "KernelInstrument",
+    "MetricsRegistry",
+    "TelemetryArtifactError",
+    "TelemetryConfig",
+    "TelemetrySession",
+    "chrome_trace",
+    "format_report",
+    "load_telemetry",
+    "merge_span_blocks",
+    "owner_key",
+    "print_report",
+    "telemetry_meta",
+    "write_chrome_trace",
+    "write_telemetry_file",
+]

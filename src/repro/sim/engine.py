@@ -123,6 +123,21 @@ class Simulator:
         self._running = False
         self._stopped = False
         self._frame_ids: int = 0
+        #: Optional observability hook (see :mod:`repro.obs.spans`).
+        #: None routes :meth:`run` through the original uninstrumented
+        #: loop — the disabled mode costs one check per ``run()`` call,
+        #: never per event.
+        self._instrument = None
+
+    def set_instrument(self, instrument) -> None:
+        """Install (or clear, with ``None``) a span instrument.
+
+        The instrument's ``record(callback, sim_ns, wall_ns)`` is
+        invoked after every executed event.  It observes the timeline;
+        it must never mutate it — event order, timestamps and
+        scheduling behaviour are identical with and without it.
+        """
+        self._instrument = instrument
 
     def new_frame_id(self) -> int:
         """Allocate a MAC frame id scoped to this simulation.
@@ -195,6 +210,8 @@ class Simulator:
         ``until`` is exclusive: an event at exactly ``until`` does not run,
         and ``now`` is advanced to ``until`` when the horizon is hit.
         """
+        if self._instrument is not None:
+            return self._run_instrumented(until, max_events)
         if until is None:
             until = _FOREVER
         if max_events is None:
@@ -225,6 +242,59 @@ class Simulator:
                 executed += 1
             else:
                 # Heap drained; advance the clock to the horizon if finite.
+                if until < _FOREVER:
+                    self.now = max(self.now, until)
+        finally:
+            self._running = False
+            self.stats.executed += executed
+        return executed
+
+    def _run_instrumented(self, until: Optional[int],
+                          max_events: Optional[int]) -> int:
+        """:meth:`run` with per-event span timing.
+
+        A deliberate duplicate of the hot loop rather than a per-event
+        ``if instrument`` branch inside it: the uninstrumented path
+        must stay byte-for-byte what the perf gate measured.  Event
+        selection, clock advance and bookkeeping are identical — only
+        the ``perf_counter_ns`` bracket around the callback is new, so
+        the simulated timeline cannot diverge.
+        """
+        from time import perf_counter_ns
+
+        instrument = self._instrument
+        if until is None:
+            until = _FOREVER
+        if max_events is None:
+            max_events = float("inf")
+        executed = 0
+        self._running = True
+        self._stopped = False
+        heap = self._heap
+        pop = heapq.heappop
+        try:
+            while heap:
+                if self._stopped:
+                    break
+                if executed >= max_events:
+                    break
+                event = heap[0]
+                if event.cancelled:
+                    pop(heap)
+                    continue
+                if event.time >= until:
+                    self.now = until
+                    break
+                pop(heap)
+                event.sim = None
+                self._live -= 1
+                self.now = event.time
+                started = perf_counter_ns()
+                event.callback(*event.args)
+                instrument.record(event.callback, event.time,
+                                  perf_counter_ns() - started)
+                executed += 1
+            else:
                 if until < _FOREVER:
                     self.now = max(self.now, until)
         finally:

@@ -145,3 +145,8 @@ class WiredLink:
     def pipes(self) -> Tuple[WiredPipe, WiredPipe]:
         """(a->b pipe, b->a pipe), mainly for stats inspection."""
         return self._a_to_b, self._b_to_a
+
+    def queue_depths(self) -> Tuple[int, int]:
+        """(a->b depth, b->a depth) — for the server->AP backhaul
+        that is (downlink queue, uplink queue).  O(1) per pipe."""
+        return self._a_to_b.queue_depth, self._b_to_a.queue_depth

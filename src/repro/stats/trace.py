@@ -19,7 +19,7 @@ from typing import Any, Callable, List, Optional
 
 from ..mac.frames import AckFrame, AmpduFrame, BarFrame, BlockAckFrame, \
     DataFrame
-from ..sim.medium import Medium, Transmission
+from ..sim.medium import ChannelizedMedium, Medium, Transmission
 
 
 @dataclass
@@ -38,6 +38,7 @@ class TraceRecord:
     hack_payload_bytes: int
     more_data: bool
     sync: bool
+    channel: int = 0
 
     @property
     def duration_ns(self) -> int:
@@ -71,15 +72,30 @@ def _classify(frame: Any) -> str:
 
 
 class MediumTracer:
-    """Observer that turns medium transmissions into TraceRecords."""
+    """Observer that turns medium transmissions into TraceRecords.
 
-    def __init__(self, medium: Medium, max_records: Optional[int] = None):
+    Accepts a single :class:`Medium` or a
+    :class:`~repro.sim.medium.ChannelizedMedium`; in the channelized
+    case one observer is attached per channel and each record is tagged
+    with the channel id it was heard on.
+    """
+
+    def __init__(self, medium: "Medium | ChannelizedMedium",
+                 max_records: Optional[int] = None):
         self.records: List[TraceRecord] = []
         self.max_records = max_records
         self.dropped = 0
-        medium.observers.append(self._observe)
+        if isinstance(medium, ChannelizedMedium):
+            for channel in medium.channels():
+                self._attach(medium.medium(channel), channel)
+        else:
+            self._attach(medium, getattr(medium, "channel", 0))
 
-    def _observe(self, tx: Transmission) -> None:
+    def _attach(self, medium: Medium, channel: int) -> None:
+        medium.observers.append(
+            lambda tx, _ch=channel: self._observe(tx, _ch))
+
+    def _observe(self, tx: Transmission, channel: int = 0) -> None:
         if (self.max_records is not None
                 and len(self.records) >= self.max_records):
             self.dropped += 1
@@ -100,6 +116,7 @@ class MediumTracer:
             hack_payload_bytes=len(payload) if payload else 0,
             more_data=bool(getattr(frame, "more_data", False)),
             sync=bool(getattr(frame, "sync", False)),
+            channel=channel,
         ))
 
     # ------------------------------------------------------------------

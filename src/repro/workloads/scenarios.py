@@ -43,6 +43,8 @@ from ..core.policies import HackConfig, HackPolicy
 from ..mac.dcf import DcfMac
 from ..mac.params import MacParams
 from ..mac.rate_control import Aarf
+from ..obs import TelemetryConfig, TelemetrySession, chrome_trace, \
+    write_chrome_trace
 from ..phy.errors import LossModel, NoLoss, SnrLossModel, UniformLossModel
 from ..phy.params import PHY_11A, PHY_11N, PhyParams
 from ..sim.engine import Simulator
@@ -344,6 +346,22 @@ class ScenarioResult:
     #: The live per-cell nets, in build order (in-process consumers —
     #: the shard pipeline reads per-cell flow ordering off these).
     cell_nets: List[Any] = field(default_factory=list, repr=False)
+    #: The ``metrics_dict()["telemetry"]`` block — present only when
+    #: the run was executed with ``telemetry=TelemetryConfig(...)``
+    #: (an execution knob: never in ScenarioConfig, never in sweep
+    #: cache signatures).  Everything here is deterministic except the
+    #: ``"spans"`` sub-block (host wall times).
+    telemetry: Optional[Dict[str, Any]] = None
+    #: Per-shard kernel/telemetry blocks (``metrics_dict()["shards"]``)
+    #: for results merged from the shard pipeline: one entry per shard
+    #: in plan order, each ``{channel, cells, kernel_stats,
+    #: telemetry}``.  Replaces the old summed ``kernel_stats`` (the
+    #: merged result's own ``kernel_stats`` is ``{}`` — summing
+    #: counters across independent simulators was never meaningful).
+    shard_blocks: Optional[List[Dict[str, Any]]] = None
+    #: The live TelemetrySession (in-process consumers/tests; not
+    #: metrics).  None for shard-merged results.
+    telemetry_session: Optional[Any] = field(default=None, repr=False)
 
     @property
     def aggregate_goodput_mbps(self) -> float:
@@ -375,7 +393,7 @@ class ScenarioResult:
                        for name, stats in self.driver_metrics.items()}
         else:
             drivers = driver_metrics_dict(self.drivers)
-        return {
+        out = {
             "aggregate_goodput_mbps": self.aggregate_goodput_mbps,
             "per_flow_goodput_mbps": {
                 str(k): v
@@ -404,6 +422,14 @@ class ScenarioResult:
             "cell_fairness_index": self.cell_fairness_index,
             "channels": [dict(block) for block in self.channel_blocks],
         }
+        # Conditional keys: absent unless the run opted in, so every
+        # telemetry-off metrics dict (golden rows, cached sweep
+        # records) keeps its historical shape bit-for-bit.
+        if self.telemetry is not None:
+            out["telemetry"] = dict(self.telemetry)
+        if self.shard_blocks is not None:
+            out["shards"] = [dict(block) for block in self.shard_blocks]
+        return out
 
     def summary_dict(self) -> Dict[str, Any]:
         """JSON-serialisable summary (config block + headline metrics)."""
@@ -449,7 +475,7 @@ def _hack_config(cfg: ScenarioConfig) -> HackConfig:
 class _CellNet:
     """One BSS's live objects while a scenario is being built/run."""
 
-    __slots__ = ("index", "ap_name", "client_names", "server",
+    __slots__ = ("index", "ap_name", "client_names", "server", "ap",
                  "clients", "drivers", "flows", "udp_names",
                  "background_names", "flow_manager")
 
@@ -459,6 +485,7 @@ class _CellNet:
         self.ap_name = ap_name
         self.client_names = client_names
         self.server: Optional[ServerNode] = None
+        self.ap: Optional[ApNode] = None
         self.clients: Dict[str, ClientNode] = {}
         self.drivers: Dict[str, HackDriver] = {}
         self.flows: List[TcpFlow] = []
@@ -579,6 +606,7 @@ class CellBuilder:
             cell_index, medium, loss_model)
         ap_driver = HackDriver(sim, ap_mac, _hack_config(cfg))
         ap = ApNode(sim, ap_driver, name=net.ap_name)
+        net.ap = ap
 
         server = ServerNode(sim)
         link = WiredLink(sim, server, ap, cfg.wired_rate_mbps,
@@ -711,7 +739,9 @@ class CellBuilder:
 
 
 def run_scenario(cfg: ScenarioConfig,
-                 shard_jobs: Optional[int] = None) -> ScenarioResult:
+                 shard_jobs: Optional[int] = None,
+                 telemetry: Optional[TelemetryConfig] = None
+                 ) -> ScenarioResult:
     """Build the WLAN(s) described by ``cfg``, run, collect results.
 
     With ``cells=1`` (the default) this wires the paper's single-BSS
@@ -726,8 +756,17 @@ def run_scenario(cfg: ScenarioConfig,
     the shard results are merged into one :class:`ScenarioResult`.
     ``None`` (the default) runs everything in a single simulator
     regardless of channel count.  Merged metrics are identical to the
-    single-simulator run except ``kernel_stats``, which sums the
-    per-shard event-kernel counters.
+    single-simulator run, with the merged ``kernel_stats`` empty and
+    the per-shard kernel counters carried under ``metrics_dict()
+    ["shards"]`` instead.
+
+    ``telemetry`` (a :class:`~repro.obs.TelemetryConfig`) turns on the
+    observability layer — kernel span timing, the periodic time-series
+    sampler, the metrics registry and the optional JSONL / Chrome-trace
+    artifacts.  Like ``shard_jobs`` it is an execution knob: it never
+    enters ``ScenarioConfig``, sweep cache signatures or golden rows,
+    and every scenario metric except ``kernel_stats`` stays
+    bit-identical to a telemetry-off run.
     """
     cfg.validate_cells()
     _validate_traffic(cfg)
@@ -735,12 +774,15 @@ def run_scenario(cfg: ScenarioConfig,
         from .sharding import ShardPlan, run_sharded
         plan = ShardPlan.from_config(cfg)
         if plan.shard_count > 1:
-            return run_sharded(cfg, plan, shard_jobs)
-    return _run_cells(cfg, tuple(range(cfg.cells)))
+            return run_sharded(cfg, plan, shard_jobs,
+                               telemetry=telemetry)
+    return _run_cells(cfg, tuple(range(cfg.cells)),
+                      telemetry=telemetry)
 
 
-def _run_cells(cfg: ScenarioConfig,
-               cell_indices: Tuple[int, ...]) -> ScenarioResult:
+def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
+               telemetry: Optional[TelemetryConfig] = None
+               ) -> ScenarioResult:
     """Build and run the given cells (global indices) in one simulator.
 
     Called with every cell for ordinary runs, or with one channel's
@@ -750,18 +792,22 @@ def _run_cells(cfg: ScenarioConfig,
     sim = Simulator()
     rngs = RngRegistry(cfg.seed)
     channels = cfg.ordered_channels(cell_indices)
-    if cfg.trace and len(channels) > 1:
-        raise ValueError(
-            "trace=True records a single channel's frames; "
-            "multi-channel scenarios cannot be traced")
     media = ChannelizedMedium(sim)
     loss_models: Dict[int, LossModel] = {}
     for channel in channels:
         loss_models[channel] = cfg.loss.build(
             rngs.stream(_loss_stream_name(channel)))
         media.add_channel(channel, loss_models[channel])
-    tracer = MediumTracer(media.medium(channels[0]),
-                          cfg.trace_max_records) if cfg.trace else None
+    # One tracer serves both cfg.trace (the result's in-process trace)
+    # and the telemetry layer's Chrome-trace export; the channelized
+    # tracer tags every record with its channel id.
+    want_export_trace = (telemetry is not None
+                         and telemetry.trace_export_path is not None)
+    tracer = None
+    if cfg.trace:
+        tracer = MediumTracer(media, cfg.trace_max_records)
+    elif want_export_trace:
+        tracer = MediumTracer(media, telemetry.trace_max_records)
     mac_stats = MacStats()
 
     builder = CellBuilder(cfg, sim, rngs, mac_stats)
@@ -775,6 +821,12 @@ def _run_cells(cfg: ScenarioConfig,
     clients = builder.clients
     drivers = builder.drivers
 
+    session: Optional[TelemetrySession] = None
+    if telemetry is not None:
+        session = TelemetrySession(cfg, telemetry, sim, media,
+                                   channels, cells)
+        session.start()
+
     # --- Measurement windows -----------------------------------------
     def snapshot_all() -> None:
         for flow in flows:
@@ -786,6 +838,18 @@ def _run_cells(cfg: ScenarioConfig,
     sim.schedule(cfg.duration_ns, snapshot_all, priority=10)
 
     sim.run(until=cfg.duration_ns + 1)
+
+    telemetry_block: Optional[Dict[str, Any]] = None
+    if session is not None:
+        telemetry_block = session.finish()
+        if want_export_trace:
+            document = chrome_trace(
+                frames=tracer.records if tracer is not None else (),
+                spans=(session.instrument.spans
+                       if session.instrument is not None else ()),
+                samples=session.samples,
+                meta=session.meta())
+            write_chrome_trace(telemetry.trace_export_path, document)
 
     # --- Results -------------------------------------------------------
     per_flow: Dict[int, float] = {}
@@ -871,7 +935,7 @@ def _run_cells(cfg: ScenarioConfig,
         sender_counters=sender_counters,
         clients=clients,
         drivers=drivers,
-        trace=tracer,
+        trace=tracer if cfg.trace else None,
         kernel_stats=sim.stats.as_dict(),
         fct=fct_summary,
         traffic_manager=cells[0].flow_manager,
@@ -880,6 +944,8 @@ def _run_cells(cfg: ScenarioConfig,
         cell_blocks=cell_blocks,
         channel_blocks=channel_blocks,
         cell_nets=cells,
+        telemetry=telemetry_block,
+        telemetry_session=session,
     )
 
 

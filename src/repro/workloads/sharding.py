@@ -28,12 +28,23 @@ that observation into the execution pipeline behind
   decompressor counters summed, and per-cell / per-channel blocks
   reordered globally.
 
-The one deliberate exception to bit-identity is ``kernel_stats``: a
-merged result sums each shard simulator's event-kernel counters, which
-cannot equal (and is not meant to equal) the single shared kernel of
-an unsharded run — e.g. the two snapshot events are scheduled once per
-shard.  Everything else in ``metrics_dict()`` is identical across
-``shard_jobs=None`` / ``1`` / ``N``.
+``kernel_stats`` is handled per shard rather than summed: a merged
+result's own ``kernel_stats`` is empty (summing counters across
+independent simulators never equalled the single shared kernel of an
+unsharded run — e.g. the two snapshot events are scheduled once per
+shard) and each shard's counters are carried verbatim under
+``metrics_dict()["shards"]`` (one ``{channel, cells, kernel_stats,
+telemetry}`` block per shard, plan order).  Everything else in
+``metrics_dict()`` is identical across ``shard_jobs=None`` / ``1`` /
+``N``.
+
+Telemetry (``run_scenario(..., telemetry=...)``) shards cleanly too:
+each shard runs its own sampler and kernel instrument
+(``TelemetryConfig.without_paths()`` — only the parent writes
+artifacts), and the merge reassembles the unsharded stream exactly —
+samples sorted by ``(t_ns, plan channel order)`` are line-identical to
+the unsharded JSONL, and the disjointly-named per-channel/per-cell
+registry entries union back into the unsharded registry.
 """
 
 from __future__ import annotations
@@ -45,6 +56,8 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..obs import MetricsRegistry, TelemetryConfig, \
+    merge_span_blocks, telemetry_meta, write_telemetry_file
 from ..stats.collectors import MacStats
 
 
@@ -123,6 +136,16 @@ class ShardOutcome:
     #: (cell index, FctCollector | FctAggregator) where churn ran.
     collectors: List[Tuple[int, Any]] = field(default_factory=list)
     wall_s: float = 0.0
+    #: Telemetry products (None/empty when the run had no telemetry):
+    #: the shard's ``metrics_dict()["telemetry"]`` block, its retained
+    #: sample records (time order), and its live registry (merged by
+    #: the parent — disjoint names make the union exact).
+    telemetry_block: Optional[Dict[str, Any]] = None
+    telemetry_samples: List[Dict[str, Any]] = field(
+        default_factory=list)
+    telemetry_registry: Optional[MetricsRegistry] = None
+    telemetry_emitted: int = 0
+    telemetry_dropped: int = 0
 
 
 class ShardExecutionError(RuntimeError):
@@ -137,13 +160,15 @@ class ShardExecutionError(RuntimeError):
         self.cells = cells
 
 
-def execute_shard(cfg, cell_indices: Tuple[int, ...]) -> ShardOutcome:
+def execute_shard(cfg, cell_indices: Tuple[int, ...],
+                  telemetry: Optional[TelemetryConfig] = None
+                  ) -> ShardOutcome:
     """Run one channel's cells in a fresh simulator (the pool work
     function — module-level so it pickles)."""
     from .scenarios import _run_cells, driver_metrics_dict
 
     started = time.perf_counter()
-    result = _run_cells(cfg, tuple(cell_indices))
+    result = _run_cells(cfg, tuple(cell_indices), telemetry=telemetry)
     per_flow = result.per_flow_goodput_mbps
     tcp_flows: Dict[int, List[Tuple[int, float]]] = {}
     udp_flows: Dict[int, List[Tuple[int, float, str]]] = {}
@@ -163,6 +188,7 @@ def execute_shard(cfg, cell_indices: Tuple[int, ...]) -> ShardOutcome:
             collectors.append((net.index, net.flow_manager.collector))
         blocks.append((net.index, block))
     channel = cfg.channel_of(cell_indices[0])
+    session = result.telemetry_session
     return ShardOutcome(
         channel=channel,
         cell_indices=tuple(cell_indices),
@@ -181,6 +207,15 @@ def execute_shard(cfg, cell_indices: Tuple[int, ...]) -> ShardOutcome:
         channel_block=dict(result.channel_blocks[0]),
         collectors=collectors,
         wall_s=time.perf_counter() - started,
+        telemetry_block=result.telemetry,
+        telemetry_samples=(list(session.samples)
+                           if session is not None else []),
+        telemetry_registry=(session.registry
+                            if session is not None else None),
+        telemetry_emitted=(session.emitted
+                           if session is not None else 0),
+        telemetry_dropped=(session.dropped_samples
+                           if session is not None else 0),
     )
 
 
@@ -194,7 +229,8 @@ def _effective_jobs(shard_jobs: int, shard_count: int) -> int:
     return jobs
 
 
-def run_sharded(cfg, plan: ShardPlan, shard_jobs: int):
+def run_sharded(cfg, plan: ShardPlan, shard_jobs: int,
+                telemetry: Optional[TelemetryConfig] = None):
     """Execute every shard of ``plan`` and merge the outcomes.
 
     ``shard_jobs=1`` runs shards serially in-process; ``N > 1`` fans
@@ -202,11 +238,24 @@ def run_sharded(cfg, plan: ShardPlan, shard_jobs: int):
     shape (``wait(FIRST_COMPLETED)``), so a slow channel never blocks
     collection of the others.  Per-shard faults are isolated into
     :class:`ShardExecutionError` naming the channel and cells.
+
+    With ``telemetry`` set, each shard samples and times its own
+    kernel (``without_paths()`` — shards never write files); the merge
+    rebuilds the unsharded sample stream and registry and the *parent*
+    writes the JSONL artifact.  ``trace_export_path`` is refused: a
+    Chrome trace records one simulator's frames and cannot span
+    shards.
     """
     if cfg.trace:
         raise ValueError(
             "trace=True records a single simulator's frames; it "
             "cannot span channel shards (run with shard_jobs=None)")
+    if telemetry is not None and telemetry.trace_export_path:
+        raise ValueError(
+            "trace_export_path records a single simulator's frames; "
+            "it cannot span channel shards (run with shard_jobs=None)")
+    shard_telemetry = (telemetry.without_paths()
+                       if telemetry is not None else None)
     shards = plan.shards()
     jobs = _effective_jobs(shard_jobs, plan.shard_count)
     started = time.perf_counter()
@@ -214,14 +263,16 @@ def run_sharded(cfg, plan: ShardPlan, shard_jobs: int):
     if jobs <= 1:
         for channel, cells in shards:
             try:
-                outcomes[channel] = execute_shard(cfg, cells)
+                outcomes[channel] = execute_shard(cfg, cells,
+                                                  shard_telemetry)
             except Exception as exc:
                 raise ShardExecutionError(channel, cells, exc) from exc
         mode = "serial"
     else:
         with ProcessPoolExecutor(max_workers=jobs) as pool:
             futures = {
-                pool.submit(execute_shard, cfg, cells): (channel, cells)
+                pool.submit(execute_shard, cfg, cells,
+                            shard_telemetry): (channel, cells)
                 for channel, cells in shards}
             pending = set(futures)
             while pending:
@@ -245,12 +296,14 @@ def run_sharded(cfg, plan: ShardPlan, shard_jobs: int):
             for channel, _ in shards},
         "plan": plan.describe(),
     }
-    return merge_outcomes(cfg, plan, outcomes, shard_info)
+    return merge_outcomes(cfg, plan, outcomes, shard_info,
+                          telemetry=telemetry)
 
 
 def merge_outcomes(cfg, plan: ShardPlan,
                    outcomes: Dict[int, ShardOutcome],
-                   shard_info: Optional[Dict[str, Any]] = None):
+                   shard_info: Optional[Dict[str, Any]] = None,
+                   telemetry: Optional[TelemetryConfig] = None):
     """Reassemble one ScenarioResult from per-channel outcomes.
 
     Ordering discipline: everything order-sensitive is rebuilt in the
@@ -259,6 +312,10 @@ def merge_outcomes(cfg, plan: ShardPlan,
     channel blocks in plan order; FCT collectors merged ascending by
     cell.  Float reductions over those sequences are then bit-identical
     to the single-simulator run.
+
+    Per-shard kernel counters (and telemetry blocks, when sampling
+    ran) are preserved verbatim as ``ScenarioResult.shard_blocks``;
+    the merged result's own ``kernel_stats`` is empty.
     """
     from .scenarios import ScenarioResult
 
@@ -284,7 +341,6 @@ def merge_outcomes(cfg, plan: ShardPlan,
     driver_metrics: Dict[str, Dict[str, int]] = {}
     mac_stats = MacStats()
     decomp: Dict[str, int] = {}
-    kernel: Dict[str, int] = {}
     for outcome in ordered:
         completion.update(outcome.completion_times_ns)
         sender_counters.update(outcome.sender_counters)
@@ -293,8 +349,19 @@ def merge_outcomes(cfg, plan: ShardPlan,
         mac_stats.merge(outcome.mac_stats)
         for key, value in outcome.decomp_counters.items():
             decomp[key] = decomp.get(key, 0) + value
-        for key, value in outcome.kernel_stats.items():
-            kernel[key] = kernel.get(key, 0) + value
+
+    # Per-shard kernel/telemetry blocks, plan order: independent
+    # simulators' counters are reported, never summed.
+    shard_blocks = [
+        {
+            "channel": outcome.channel,
+            "cells": list(outcome.cell_indices),
+            "kernel_stats": dict(outcome.kernel_stats),
+            "telemetry": (dict(outcome.telemetry_block)
+                          if outcome.telemetry_block is not None
+                          else None),
+        }
+        for outcome in ordered]
 
     collectors = sorted(
         (pair for outcome in ordered for pair in outcome.collectors),
@@ -319,6 +386,11 @@ def merge_outcomes(cfg, plan: ShardPlan,
         block["utilisation"] for block in channel_blocks) \
         / len(channel_blocks) if channel_blocks else 0.0
 
+    telemetry_block: Optional[Dict[str, Any]] = None
+    if telemetry is not None:
+        telemetry_block = _merge_telemetry(cfg, plan, ordered,
+                                           all_cells, telemetry)
+
     return ScenarioResult(
         config=cfg,
         per_flow_goodput_mbps=per_flow,
@@ -332,11 +404,74 @@ def merge_outcomes(cfg, plan: ShardPlan,
         medium_utilisation=utilisation,
         completion_times_ns=completion,
         sender_counters=sender_counters,
-        kernel_stats=kernel,
+        kernel_stats={},
         fct=fct_summary,
         udp_background_goodput_mbps=background,
         cell_blocks=cell_blocks,
         channel_blocks=channel_blocks,
         driver_metrics=driver_metrics,
         shard_info=shard_info,
+        shard_blocks=shard_blocks,
+        telemetry=telemetry_block,
     )
+
+
+def _merge_telemetry(cfg, plan: ShardPlan,
+                     ordered: List[ShardOutcome],
+                     all_cells: List[int],
+                     telemetry: TelemetryConfig) -> Dict[str, Any]:
+    """Rebuild the unsharded telemetry block (and artifact) from the
+    per-shard products.
+
+    * Samples: every shard emitted exactly the per-channel records the
+      unsharded run would have for its channel, so sorting the union
+      by ``(t_ns, plan channel order)`` restores the unsharded stream
+      line-for-line.
+    * Registry: per-channel/per-cell metric names are disjoint across
+      shards, so merging is a disjoint union (plus the ``samples``
+      counter, which genuinely sums).
+    * Spans: wall times sum by owner (each shard timed its own
+      kernel).
+    """
+    channel_order = {channel: index
+                     for index, channel in enumerate(plan.channels)}
+    samples = sorted(
+        (record for outcome in ordered
+         for record in outcome.telemetry_samples),
+        key=lambda record: (record["t_ns"],
+                            channel_order[record["channel"]]))
+    registry = MetricsRegistry()
+    for outcome in ordered:
+        if outcome.telemetry_registry is not None:
+            registry.merge(outcome.telemetry_registry)
+    span_blocks = [outcome.telemetry_block.get("spans")
+                   for outcome in ordered
+                   if outcome.telemetry_block is not None]
+    spans = (merge_span_blocks([b for b in span_blocks if b])
+             if any(span_blocks) else None)
+    emitted = sum(o.telemetry_emitted for o in ordered)
+    dropped = sum(o.telemetry_dropped for o in ordered)
+    block: Dict[str, Any] = {
+        "sample_interval_ns": telemetry.sample_interval_ns,
+        "samples": emitted,
+        "retained_samples": len(samples),
+        "dropped_samples": dropped,
+        "metrics": registry.as_dict(),
+        "enabled": True,
+        "spans": spans,
+    }
+    if telemetry.telemetry_path:
+        summary = {
+            "type": "summary",
+            "sample_interval_ns": telemetry.sample_interval_ns,
+            "samples": emitted,
+            "retained_samples": len(samples),
+            "dropped_samples": dropped,
+            "metrics": registry.as_dict(),
+        }
+        write_telemetry_file(
+            telemetry.telemetry_path,
+            telemetry_meta(cfg, telemetry, list(plan.channels),
+                           all_cells),
+            samples, summary, spans)
+    return block
