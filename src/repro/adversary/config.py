@@ -1,0 +1,90 @@
+"""Declarative fault-injection plan (`ScenarioConfig.adversary`).
+
+Kept dependency-free so ``repro.workloads.scenarios`` can embed it in
+``ScenarioConfig`` without import cycles; the actors that interpret it
+live in the sibling modules.  The config is a plain frozen dataclass:
+``dataclasses.asdict`` (the sweep-cache signature path) and canonical
+JSON both serialize it with no special casing, so an attacked sweep
+point caches, shards and replays exactly like a cooperative one.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+KINDS = ("none", "greedy", "jammer", "mutator")
+JAM_MODES = ("periodic", "reactive")
+MUTATE_MODES = ("flip", "cid", "storm")
+
+US = 1_000        # ns; local to stay import-free
+MS = 1_000_000    # ns
+
+
+@dataclass(frozen=True)
+class AdversaryConfig:
+    """One attack, one intensity — deterministic and seed-replayable.
+
+    ``intensity`` is the single cross-attack severity dial in [0, 1]:
+
+    * ``greedy``  — contention-window shrink factor: the cheater draws
+      backoff from ``cw * (1 - intensity)`` (1.0 = always zero slots);
+    * ``jammer``  — target jamming duty cycle (periodic) or the
+      probability of reacting to a busy transition (reactive);
+    * ``mutator`` — per-frame probability that a compressed-ACK
+      payload is corrupted in flight.
+
+    ``intensity == 0`` (or ``kind == "none"``) is the inert plan: no
+    actor is installed and the run is bit-identical to ``adversary=None``
+    except for the zeroed ``metrics_dict()["adversary"]`` block.
+    """
+
+    kind: str = "none"            # none | greedy | jammer | mutator
+    intensity: float = 0.0
+    #: greedy: how many cell-0 clients cheat (the first N by name).
+    greedy_stations: int = 1
+    #: jammer: burst scheduling discipline.
+    jam_mode: str = "periodic"    # periodic | reactive
+    #: jammer(periodic): duty cycle period.  Each cycle jams for
+    #: ``intensity * jam_cycle_ns`` then stays quiet; the cycle is much
+    #: longer than a frame airtime so honest stations mostly *defer*
+    #: through the burst (carrier sense) instead of losing every frame,
+    #: which keeps degradation graded in intensity rather than cliffed.
+    jam_cycle_ns: int = 20 * MS
+    #: jammer(reactive): energy-burst airtime per pulse.
+    jam_burst_ns: int = 200 * US
+    #: jammer(reactive): sensing-to-pulse turnaround.
+    jam_reaction_ns: int = 10 * US
+    #: mutator: corruption flavour (random bit flip, forged CID
+    #: collision, or multi-frame desync storm).
+    mutate_mode: str = "flip"     # flip | cid | storm
+    #: mutator(storm): consecutive HACK frames corrupted per trigger.
+    storm_frames: int = 8
+    #: all kinds: attack start time (lets warmup stay clean).
+    start_ns: int = 0
+
+    @property
+    def active(self) -> bool:
+        """Whether any actor gets installed at all."""
+        return self.kind != "none" and self.intensity > 0
+
+    def validate(self) -> None:
+        if self.kind not in KINDS:
+            raise ValueError(f"unknown adversary kind {self.kind!r}")
+        if not 0.0 <= self.intensity <= 1.0:
+            raise ValueError("adversary intensity must be in [0, 1], "
+                             f"got {self.intensity!r}")
+        if self.jam_mode not in JAM_MODES:
+            raise ValueError(f"unknown jam_mode {self.jam_mode!r}")
+        if self.mutate_mode not in MUTATE_MODES:
+            raise ValueError(
+                f"unknown mutate_mode {self.mutate_mode!r}")
+        if self.greedy_stations < 1:
+            raise ValueError("greedy_stations must be >= 1")
+        if self.jam_burst_ns <= 0:
+            raise ValueError("jam_burst_ns must be positive")
+        if self.jam_cycle_ns <= 0:
+            raise ValueError("jam_cycle_ns must be positive")
+        if self.storm_frames < 1:
+            raise ValueError("storm_frames must be >= 1")
+        if self.start_ns < 0:
+            raise ValueError("start_ns must be >= 0")

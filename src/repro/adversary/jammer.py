@@ -1,0 +1,141 @@
+"""Energy-only jammer for `Medium`/`ChannelizedMedium`.
+
+The jammer transmits undecodable energy bursts.  It attaches to the
+medium in its own dispatch cell (``Jammer.CELL``), which gives exactly
+the physics we want for free from the existing co-channel machinery:
+
+* busy/idle transitions are broadcast to every listener, so honest
+  stations carrier-sense the jam and defer (DIFS + frozen backoff);
+* a jam pulse that overlaps a real frame collides with it, and the
+  collision's :meth:`on_frame_error` reaches every cell (EIFS);
+* a jam pulse that overlaps nothing is dispatched only within the
+  jammer's own (otherwise empty) cell — pure wasted airtime, decoded
+  by nobody.
+
+Two disciplines:
+
+* ``periodic`` — duty-cycled energy: each ``jam_cycle_ns`` window
+  starts with one long burst of ``intensity * jam_cycle_ns`` airtime
+  (1.0 = continuous energy).  The cycle is much longer than a frame
+  airtime, so the dominant honest-station response is carrier-sense
+  *deferral* through the burst — capacity scales roughly with
+  ``1 - intensity`` instead of collapsing at the first pulse train;
+* ``reactive`` — listens for busy transitions and, with probability
+  ``intensity``, fires a short ``jam_burst_ns`` pulse into the ongoing
+  transmission to force a collision (the classic low-energy reactive
+  jammer).
+
+All randomness comes from a dedicated per-channel RNG stream, so
+jammed runs are seed-replayable and channel-shardable.
+"""
+
+from __future__ import annotations
+
+from .config import AdversaryConfig
+
+
+class JamFrame:
+    """An undecodable energy burst (opaque to every receiver)."""
+
+    __slots__ = ("src", "dst", "byte_length", "mpdu_count",
+                 "more_data", "sync", "hack_payload")
+
+    def __init__(self, duration_ns: int):
+        self.src = "JAMMER"
+        self.dst = None           # addressed to nobody
+        # Nominal size for tracer/telemetry consumers; the medium only
+        # uses duration_ns, which the jammer passes explicitly.
+        self.byte_length = max(1, duration_ns // 8_000)
+        self.mpdu_count = 0
+        self.more_data = False
+        self.sync = False
+        self.hack_payload = None
+
+
+class Jammer:
+    """Schedules jam pulses onto one :class:`~repro.sim.medium.Medium`.
+
+    Implements the :class:`~repro.sim.medium.MediumListener` protocol
+    (attachment puts it in the listener list); everything except the
+    reactive trigger is a no-op.
+    """
+
+    #: Dedicated dispatch cell: clean jam pulses decode nowhere.
+    CELL = "adversary:jam"
+
+    def __init__(self, sim, medium, rng, config: AdversaryConfig,
+                 until_ns: int):
+        self.sim = sim
+        self.medium = medium
+        self.rng = rng
+        self.config = config
+        self.until_ns = until_ns
+        self.bursts = 0
+        self.jam_airtime_ns = 0
+        self._own_tx = False      # reactive: never react to ourselves
+        medium.attach(self, cell=self.CELL)
+
+    def start(self) -> None:
+        if self.config.jam_mode == "periodic":
+            delay = max(0, self.config.start_ns - self.sim.now)
+            self.sim.schedule(delay, self._periodic_fire)
+
+    # -- burst machinery ----------------------------------------------
+    def _fire(self, duration_ns: int) -> None:
+        self._own_tx = True
+        self.medium.transmit(self, JamFrame(duration_ns), duration_ns)
+        self.bursts += 1
+        self.jam_airtime_ns += duration_ns
+        self.sim.schedule(duration_ns, self._burst_done)
+
+    def _burst_done(self) -> None:
+        self._own_tx = False
+
+    def _periodic_fire(self) -> None:
+        if self.sim.now >= self.until_ns:
+            return
+        cycle = self.config.jam_cycle_ns
+        burst = int(cycle * self.config.intensity)
+        if burst > 0:
+            self._fire(burst)
+        idle = cycle - burst
+        if idle > 4:
+            # +/-25% jitter on the quiet phase so the cycle does not
+            # phase-lock with periodic protocol timers.
+            idle = max(0, idle + self.rng.randint(-idle // 4,
+                                                  idle // 4))
+        self.sim.schedule(max(burst, 1) + idle, self._periodic_fire)
+
+    # -- MediumListener protocol --------------------------------------
+    def on_channel_busy(self, now: int) -> None:
+        if self.config.jam_mode != "reactive" or self._own_tx:
+            return
+        if not self.config.start_ns <= now < self.until_ns:
+            return
+        if self.rng.random() < self.config.intensity:
+            # Pulse into the transmission we just sensed; the short
+            # reaction delay keeps us inside its airtime, forcing a
+            # collision for everyone.
+            self.sim.schedule(self.config.jam_reaction_ns,
+                              self._reactive_fire)
+
+    def _reactive_fire(self) -> None:
+        if self._own_tx or self.sim.now >= self.until_ns:
+            return
+        self._fire(self.config.jam_burst_ns)
+
+    def on_channel_idle(self, now: int) -> None:
+        pass
+
+    def on_frame_received(self, frame, sender) -> None:
+        pass
+
+    def on_frame_overheard(self, frame, sender) -> None:
+        pass
+
+    def on_frame_error(self, frame, sender) -> None:
+        pass
+
+    def counters(self) -> dict:
+        return {"jam_bursts": self.bursts,
+                "jam_airtime_ns": self.jam_airtime_ns}

@@ -1,0 +1,122 @@
+"""Wiring adversaries into a built scenario, and their metrics block.
+
+:func:`install_adversary` is called by the scenario builder
+(:mod:`repro.workloads.scenarios`) after the cooperative world is
+wired.  An inactive plan (``kind == "none"`` or ``intensity == 0``)
+installs *nothing* — no listener, no tamper hook, no scheduled event,
+no RNG stream — which is what makes zero-intensity runs bit-identical
+to ``adversary=None`` runs.
+
+All randomness flows through dedicated, name-derived RNG streams
+(``adversary:jam:ch<k>``, ``adversary:mutate:ch<k>``), one per
+channel, so attacked multi-channel runs shard exactly like
+cooperative ones and never perturb cooperative draws.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .config import AdversaryConfig
+from .jammer import Jammer
+from .mutator import AirframeMutator
+
+#: The fixed shape of ``metrics_dict()["adversary"]``; stable across
+#: kinds and intensities so sweep rows and shard merges never see a
+#: shifting schema.  Integers sum across shards; kind/intensity are
+#: invariants carried from the config.
+_ZERO_COUNTERS = {
+    "greedy_stations": 0,
+    "cheated_draws": 0,
+    "jam_bursts": 0,
+    "jam_airtime_ns": 0,
+    "hack_frames_seen": 0,
+    "frames_mutated": 0,
+    "bit_flips": 0,
+    "cid_forges": 0,
+    "storm_bursts": 0,
+    "tamper_errors": 0,
+}
+
+
+class AdversaryRuntime:
+    """The live attack actors of one simulator (one shard's worth)."""
+
+    def __init__(self, config: AdversaryConfig):
+        self.config = config
+        self.jammers: List[Jammer] = []
+        self.mutators: List[AirframeMutator] = []
+        self.greedy_macs: List[Any] = []
+
+    def counters(self) -> Dict[str, int]:
+        out = dict(_ZERO_COUNTERS)
+        out["greedy_stations"] = len(self.greedy_macs)
+        out["cheated_draws"] = sum(mac.cheated_draws
+                                   for mac in self.greedy_macs)
+        for jammer in self.jammers:
+            for key, value in jammer.counters().items():
+                out[key] += value
+        for mutator in self.mutators:
+            for key, value in mutator.counters().items():
+                out[key] += value
+        return out
+
+
+def adversary_block(config: AdversaryConfig,
+                    runtime: Optional[AdversaryRuntime]
+                    ) -> Dict[str, Any]:
+    """The ``metrics_dict()["adversary"]`` payload (plain data)."""
+    block: Dict[str, Any] = {"kind": config.kind,
+                             "intensity": config.intensity}
+    block.update(runtime.counters() if runtime is not None
+                 else _ZERO_COUNTERS)
+    return block
+
+
+def merge_adversary_blocks(blocks) -> Optional[Dict[str, Any]]:
+    """Sum per-shard adversary blocks (kind/intensity are invariant)."""
+    blocks = [b for b in blocks if b is not None]
+    if not blocks:
+        return None
+    merged = dict(blocks[0])
+    for block in blocks[1:]:
+        for key, value in block.items():
+            if key in ("kind", "intensity"):
+                continue
+            merged[key] = merged.get(key, 0) + value
+    return merged
+
+
+def install_adversary(config: Optional[AdversaryConfig], sim, rngs,
+                      media, channels, until_ns: int
+                      ) -> Optional[AdversaryRuntime]:
+    """Attach jammers / mutators to each channel's medium.
+
+    Greedy stations are not installed here — they replace honest
+    client MACs at build time (see ``CellBuilder.make_mac``); the
+    builder hands its ``greedy_macs`` to the returned runtime.
+
+    Returns None (and touches nothing) for inactive plans.
+    """
+    if config is None:
+        return None
+    config.validate()
+    if not config.active:
+        return None
+    runtime = AdversaryRuntime(config)
+    if config.kind == "jammer":
+        for channel in channels:
+            jammer = Jammer(
+                sim, media.medium(channel),
+                rngs.stream(f"adversary:jam:ch{channel}"),
+                config, until_ns)
+            jammer.start()
+            runtime.jammers.append(jammer)
+    elif config.kind == "mutator":
+        for channel in channels:
+            mutator = AirframeMutator(
+                rngs.stream(f"adversary:mutate:ch{channel}"),
+                config, clock=lambda: sim.now)
+            media.medium(channel).tamper = mutator
+            runtime.mutators.append(mutator)
+    return runtime

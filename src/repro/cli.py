@@ -30,10 +30,12 @@ artifact (kernel hot spots, airtime, queue peaks).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 import time
 from typing import List, Optional
 
+from .adversary import AdversaryConfig
 from .core.policies import HackPolicy
 from .experiments import runner as experiments_runner
 from .experiments.batch import SweepCache, SweepInterrupted, \
@@ -112,6 +114,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="print event-kernel counters (events "
                           "executed/cancelled, heap compactions, "
                           "events per wall-second)")
+    sim.add_argument("--adversary", default=None,
+                     choices=("greedy", "jammer", "mutator"),
+                     help="inject a misbehaving actor (greedy "
+                          "CW-cheating station, energy jammer, or "
+                          "compressed-ACK payload mutator)")
+    sim.add_argument("--adversary-intensity", type=float, default=0.5,
+                     metavar="X",
+                     help="attack severity in [0, 1] (default 0.5); "
+                          "0 installs nothing and is bit-identical "
+                          "to the cooperative run")
+    sim.add_argument("--adversary-mode", default=None,
+                     help="discipline variant: periodic|reactive for "
+                          "the jammer, flip|cid|storm for the mutator "
+                          "(defaults: periodic / flip)")
     sim.add_argument("--stream-stats", action="store_true",
                      help="bounded-memory streaming FCT aggregation "
                           "for churn scenarios (percentiles "
@@ -200,6 +216,24 @@ def _simulate(args: argparse.Namespace) -> int:
             extra_response_delay_ns=usec(37) if args.sora else 0,
             ack_timeout_extra_ns=usec(60) if args.sora else 0,
             stagger_ns=50 * MS, stream_stats=args.stream_stats)
+    if args.adversary is not None:
+        adv_kwargs = {"kind": args.adversary,
+                      "intensity": args.adversary_intensity}
+        if args.adversary_mode:
+            mode_field = {"jammer": "jam_mode",
+                          "mutator": "mutate_mode"}.get(args.adversary)
+            if mode_field is None:
+                print("error: --adversary-mode only applies to "
+                      "jammer/mutator", file=sys.stderr)
+                return 2
+            adv_kwargs[mode_field] = args.adversary_mode
+        adversary = AdversaryConfig(**adv_kwargs)
+        try:
+            adversary.validate()
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        config = dataclasses.replace(config, adversary=adversary)
     telemetry = None
     if args.telemetry or args.trace_export:
         from .obs import TelemetryConfig
@@ -267,6 +301,31 @@ def _simulate(args: argparse.Namespace) -> int:
               f"{counters['acks_reconstructed']} reconstructed, "
               f"{counters['crc_failures']} CRC failures, "
               f"{counters['duplicates_skipped']} duplicates skipped")
+    rohc = result.rohc_counters
+    if any(rohc.values()):
+        print(f"ROHC robustness   : "
+              f"{rohc['mid_frame_aborts']} frame aborts, "
+              f"{rohc['desync_events']} desyncs "
+              f"({rohc['recoveries']} recovered, "
+              f"{rohc['open_desyncs']} open), "
+              f"{rohc['chain_repairs']} chain repairs, "
+              f"{rohc['internal_errors']} internal errors")
+        if rohc["recoveries"]:
+            mean_ms = rohc["recovery_ns_total"] \
+                / rohc["recoveries"] / 1e6
+            print(f"  context recovery: {mean_ms:8.2f} ms mean, "
+                  f"{rohc['recovery_frames_total']} HACK frames "
+                  f"spent desynced")
+    adv = result.adversary_counters
+    if adv is not None:
+        print(f"adversary         : {adv['kind']} @ intensity "
+              f"{adv['intensity']:g}")
+        activity = {key: value for key, value in adv.items()
+                    if key not in ("kind", "intensity") and value}
+        if activity:
+            print("  " + ", ".join(f"{key} {value}"
+                                   for key, value
+                                   in sorted(activity.items())))
     timeouts = sum(c["timeouts"]
                    for c in result.sender_counters.values())
     print(f"TCP timeouts      : {timeouts}")

@@ -57,6 +57,10 @@ class DriverStats:
     overflow_flushes: int = 0
     echo_flushes: int = 0
     acks_reinjected: int = 0
+    #: Buffered-ACK chains found broken (non-consecutive MSNs) and
+    #: repaired by flushing the survivors to vanilla instead of letting
+    #: ``build_frame`` raise into the event loop.  Zero cooperatively.
+    chain_repairs: int = 0
 
 
 class _PeerState:
@@ -66,12 +70,12 @@ class _PeerState:
                  "compressor", "decompressor", "flush_event",
                  "flush_after_response", "ack_ts_sent", "echo_seen")
 
-    def __init__(self, init_vanilla_acks: int):
+    def __init__(self, init_vanilla_acks: int, clock=None):
         self.more_data_latched = False
         self.buffer: List[CompressedAck] = []
         self.last_seen_seq = -1
         self.compressor = Compressor(init_threshold=init_vanilla_acks)
-        self.decompressor = Decompressor()
+        self.decompressor = Decompressor(clock=clock)
         self.flush_event = None
         self.flush_after_response = False
         # TS_ECHO state: per flow, the ts_val of the newest ACK we sent
@@ -92,11 +96,16 @@ class HackDriver(MacUpper):
         self.stats = DriverStats()
         self._peers: Dict[str, _PeerState] = {}
         self._attached_count = 0
+        # Decompressors time their context-recovery latency off the
+        # simulator clock (only read while a context is desynced, so
+        # cooperative runs never touch it).
+        self._clock = lambda: sim.now
         mac.upper = self
 
     def peer(self, name: str) -> _PeerState:
         if name not in self._peers:
-            self._peers[name] = _PeerState(self.config.init_vanilla_acks)
+            self._peers[name] = _PeerState(self.config.init_vanilla_acks,
+                                           clock=self._clock)
         return self._peers[name]
 
     def buffered_acks(self) -> int:
@@ -275,6 +284,11 @@ class HackDriver(MacUpper):
             if confirmed:
                 ps.buffer = [e for e in ps.buffer if not e.sent_once]
                 self.stats.entries_confirmed += len(confirmed)
+                # Confirmation normally strips a prefix, leaving a
+                # consecutive-MSN suffix; if anything (corruption,
+                # partial sends) left holes instead, repair now rather
+                # than stall the chain at the next build_frame.
+                self._repair_chain(ps, sender)
 
         # --- MORE DATA latch (§3.2) ---
         # TS_ECHO deliberately ignores the bit: it is the AP-free
@@ -302,7 +316,17 @@ class HackDriver(MacUpper):
         if self.config.split_to_aifs:
             entries = entries[:self._aifs_prefix_len(ps)]
         self._attached_count = len(entries)
-        return build_frame(entries)
+        try:
+            return build_frame(entries)
+        except ValueError:
+            # A broken MSN chain must never abort the MAC's response
+            # transmission: count it, fall back to vanilla for the
+            # whole buffer (mirroring release_flow_state), and send
+            # this response bare.
+            self.stats.chain_repairs += 1
+            self._attached_count = 0
+            self._flush_buffer(ps, peer_name)
+            return None
 
     def _aifs_prefix_len(self, ps: _PeerState) -> int:
         """Longest buffer prefix whose appended airtime fits in AIFS.
@@ -368,6 +392,21 @@ class HackDriver(MacUpper):
                 self.stats.unlatch_flushes += 1
                 ps.buffer = []
                 ps.compressor.rebase_all()
+
+    def _repair_chain(self, ps: _PeerState, peer_name: str) -> None:
+        """Flush the buffer to vanilla if its MSNs are not consecutive
+        (``build_frame`` would refuse to serialise it).  A consecutive
+        buffer — the invariable cooperative case — costs one cheap
+        scan and is left untouched."""
+        buffer = ps.buffer
+        if not buffer:
+            return
+        first = buffer[0].msn
+        if all(entry.msn == first + index
+               for index, entry in enumerate(buffer)):
+            return
+        self.stats.chain_repairs += 1
+        self._flush_buffer(ps, peer_name)
 
     def on_ll_ack_rx(self, frame: Any, sender: str) -> None:
         payload = getattr(frame, "hack_payload", None)
@@ -454,3 +493,32 @@ class HackDriver(MacUpper):
             totals["damaged_skips"] += d.damaged_skips
             totals["parse_errors"] += d.parse_errors
         return totals
+
+    #: Shape of ``rohc_robustness_counters`` even with zero peers —
+    #: metrics consumers and shard merges rely on a stable key set.
+    ROHC_ROBUSTNESS_KEYS = (
+        "mid_frame_aborts", "desync_events", "recoveries",
+        "open_desyncs", "recovery_ns_total", "recovery_frames_total",
+        "internal_errors", "chain_repairs")
+
+    def rohc_robustness_counters(self) -> Dict[str, int]:
+        """Attack-facing containment counters: every decompressor's
+        robustness block plus this driver's chain repairs.  All zero
+        in cooperative runs (the adversarial oracle pins this)."""
+        totals = dict.fromkeys(self.ROHC_ROBUSTNESS_KEYS, 0)
+        totals["chain_repairs"] = self.stats.chain_repairs
+        for ps in self._peers.values():
+            for key, value in \
+                    ps.decompressor.robustness_counters().items():
+                totals[key] += value
+        return totals
+
+    def rohc_failure_count(self) -> int:
+        """Cumulative contained decode failures, across peers (the
+        telemetry sampler's corruption probe)."""
+        total = self.stats.chain_repairs
+        for ps in self._peers.values():
+            d = ps.decompressor
+            total += (d.crc_failures + d.parse_errors
+                      + d.mid_frame_aborts + d.internal_errors)
+        return total

@@ -23,8 +23,9 @@ import sys
 import time
 from pathlib import Path
 
-from . import ablations, city_scale, crossval, fct_churn, fig01, \
-    fig09, fig10, fig11, fig12, multi_ap, table2, table3
+from . import ablations, adversarial, city_scale, crossval, \
+    fct_churn, fig01, fig09, fig10, fig11, fig12, multi_ap, table2, \
+    table3
 from .batch import SweepInterrupted, SweepResult, SweepRunner
 from .progress import ProgressReporter
 
@@ -41,6 +42,7 @@ EXPERIMENTS = {
     "fct_churn": fct_churn,  # extension: flow churn / FCT
     "multi_ap": multi_ap,    # extension: overlapping co-channel cells
     "city_scale": city_scale,  # extension: channel-sharded city grid
+    "adversarial": adversarial,  # extension: robustness under attack
 }
 
 DEFAULT_CACHE_DIR = ".sweep-cache"

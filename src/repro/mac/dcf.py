@@ -303,8 +303,15 @@ class DcfMac(MediumListener):
         if self._current_job is not None:
             self._transmit_job()
 
+    def _current_cw(self) -> int:
+        """The window backoff is drawn from.  A hook: adversarial
+        subclasses (repro.adversary.greedy) cheat by shrinking the
+        returned bound while the nominal ``_cw`` ladder — doubling on
+        loss, resetting on success — runs unchanged."""
+        return self._cw
+
     def _draw_backoff(self) -> None:
-        self._backoff_slots = self.rng.randint(0, self._cw)
+        self._backoff_slots = self.rng.randint(0, self._current_cw())
 
     def _double_cw(self) -> None:
         self._cw = min(2 * (self._cw + 1) - 1, self.phy.cw_max)

@@ -86,6 +86,13 @@ def format_report(artifact: Dict[str, Any], top: int = 10) -> str:
     lines.append(f"  traffic {meta['traffic']}, "
                  f"policy {meta['policy']}, "
                  f"{len(artifact['samples'])} sample records")
+    adversary = meta.get("adversary")
+    if adversary is not None:
+        lines.append(
+            f"  adversary {adversary['kind']} "
+            f"@ intensity {adversary['intensity']:g} "
+            f"(jam {adversary['jam_mode']}, "
+            f"mutate {adversary['mutate_mode']})")
 
     if spans and spans.get("owners"):
         total = spans["total_wall_ns"] or 1
@@ -136,6 +143,18 @@ def format_report(artifact: Dict[str, Any], top: int = 10) -> str:
             for label, cell, gauge in busiest:
                 lines.append(f"  {label:<12} peak {gauge['max']:>5.0f} "
                              f"({cell}, mean {gauge['mean']:.1f})")
+        corrupt = [(name, gauge) for name, gauge
+                   in _gauge_highlights(summary, ".rohc_failures")
+                   if (gauge["max"] or 0) > 0]
+        if corrupt:
+            lines.append("")
+            lines.append("ROHC corruption (cumulative failure counter "
+                         "at sample instants):")
+            for name, gauge in corrupt[:top]:
+                cell = name.split(".")[0]
+                lines.append(
+                    f"  {cell:<10} final {gauge['last']:>6.0f}  "
+                    f"peak {gauge['max']:>6.0f}")
     else:
         lines.append("")
         lines.append("(no summary record: artifact was truncated "

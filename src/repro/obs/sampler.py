@@ -50,7 +50,8 @@ from .spans import KernelInstrument
 
 #: Sample-record fields mirrored into per-cell gauges.
 _CELL_FIELDS = ("ap_queue", "wired_down_queue", "wired_up_queue",
-                "live_flows", "hack_buffer", "rohc_cids")
+                "live_flows", "hack_buffer", "rohc_cids",
+                "rohc_failures")
 
 TELEMETRY_FORMAT = "repro-telemetry"
 TELEMETRY_VERSION = 1
@@ -99,7 +100,7 @@ def telemetry_meta(cfg, config: TelemetryConfig,
     """The artifact's first line.  Built from the *full* scenario, so
     the shard pipeline's parent writes the same meta line the
     unsharded run streams."""
-    return {
+    meta = {
         "type": "meta",
         "format": TELEMETRY_FORMAT,
         "version": TELEMETRY_VERSION,
@@ -112,6 +113,17 @@ def telemetry_meta(cfg, config: TelemetryConfig,
         "cells": list(cell_indices),
         "channels": list(channels),
     }
+    # Conditional (cooperative meta lines keep their historical shape):
+    # which attack this run was executed under.
+    adversary = getattr(cfg, "adversary", None)
+    if adversary is not None:
+        meta["adversary"] = {
+            "kind": adversary.kind,
+            "intensity": adversary.intensity,
+            "jam_mode": adversary.jam_mode,
+            "mutate_mode": adversary.mutate_mode,
+        }
+    return meta
 
 
 def _dump_line(handle: IO[str], record: Dict[str, Any]) -> None:
@@ -233,6 +245,8 @@ class TelemetrySession:
                                for driver in net.drivers.values()),
             "rohc_cids": sum(driver.rohc_context_count()
                              for driver in net.drivers.values()),
+            "rohc_failures": sum(driver.rohc_failure_count()
+                                 for driver in net.drivers.values()),
         }
         return record
 

@@ -4,16 +4,32 @@ Applies HACK-frame entries strictly in master-sequence order and
 discards duplicates — the §3.4 mechanism that lets the client blindly
 re-send the same compressed ACKs on every LL ACK until confirmed.
 
-Failure containment: a CRC-3 mismatch marks the flow's context damaged
-and suppresses further delta entries until an absolute (rebase) entry
-repairs it; unknown CIDs (context-establishing vanilla ACK lost) are
-skipped.  Both are counted — the paper's claim is that in practice
-these counters stay at zero CRC failures.
+Failure containment (hardened for the adversarial scenario family):
+every way a frame can be wrong — truncated, trailing garbage, broken
+MSN chain, unknown CID, CRC-3 mismatch, or an outright crash in the
+entry machinery — is absorbed here as a *typed, counted drop*; nothing
+ever propagates into the event loop.  The CRC path is two-staged:
+
+* a **first** mismatch on a context aborts the rest of the frame
+  *without consuming the entry's MSN* (``mid_frame_aborts``).  §3.4
+  retention means the peer re-offers the same bytes on the next LL
+  ACK, so a transient on-air flip gets a free retry before any state
+  is condemned;
+* a **second consecutive** mismatch on the same context declares a
+  desynchronization (``desync_events``): the context is marked
+  damaged, delta entries are skipped (``damaged_skips``) until an
+  absolute entry or a snooped vanilla ACK repairs it, and the repair
+  latency is measured (``recovery_ns_total`` over ``recoveries``,
+  plus ``recovery_frames_total`` HACK frames spent damaged).
+
+The paper's cooperative claim (Fig. 11: zero decompression CRC
+failures in practice) means none of this machinery runs outside an
+attack — cooperative runs stay bit-identical.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
 from ..tcp.segment import TcpSegment
 from .context import DecompressorContext, cid_for_flow
@@ -29,12 +45,23 @@ class Decompressor:
     #: retained (retransmitted) entries may reach this far behind.
     MSN_P = 128
 
-    def __init__(self) -> None:
+    #: Consecutive CRC mismatches on one context before it is declared
+    #: desynchronized (the first one is treated as transient damage and
+    #: left for §3.4 retention to retry).
+    DESYNC_AFTER = 2
+
+    #: Sentinel ``_apply`` returns for a first (retryable) CRC miss.
+    _RETRY = object()
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None) -> None:
         self.contexts: Dict[int, DecompressorContext] = {}
         self.last_msn = -1
         #: CID of the last entry in MSN order (the ``same_cid`` chain is
         #: global across frames, mirroring the compressor's state).
         self._last_cid: Optional[int] = None
+        #: Time source for recovery-latency measurement (the driver
+        #: passes the simulator clock); None reads as 0.
+        self.clock = clock
         # Counters.
         self.acks_reconstructed = 0
         self.duplicates_skipped = 0
@@ -43,6 +70,20 @@ class Decompressor:
         self.damaged_skips = 0
         self.parse_errors = 0
         self.frames_processed = 0
+        # Robustness counters (all zero in cooperative runs).
+        self.mid_frame_aborts = 0
+        self.desync_events = 0
+        self.recoveries = 0
+        self.recovery_ns_total = 0
+        self.recovery_frames_total = 0
+        self.internal_errors = 0
+        #: cid -> consecutive CRC-mismatch count (reset by any success).
+        self._crc_streaks: Dict[int, int] = {}
+        #: cid -> (declared-at ns, frames_processed then) while desynced.
+        self._damage_marks: Dict[int, Tuple[int, int]] = {}
+
+    def _now(self) -> int:
+        return self.clock() if self.clock is not None else 0
 
     # ------------------------------------------------------------------
     def note_vanilla_ack(self, segment: TcpSegment) -> None:
@@ -57,7 +98,12 @@ class Decompressor:
                 flow_id=segment.flow_id, src=segment.src,
                 dst=segment.dst)
             self.contexts[cid] = context
+        was_damaged = context.damaged
         context.note_vanilla(segment)
+        if was_damaged and not context.damaged:
+            # A vanilla ACK re-established the context out-of-band —
+            # the second of the two §3.3.2 repair paths.
+            self._mark_recovered(cid)
 
     def release_flow(self, five_tuple) -> bool:
         """Drop the context of a finished flow (mirror of the
@@ -70,18 +116,25 @@ class Decompressor:
                 context.five_tuple.key() != five_tuple.key():
             return False
         del self.contexts[cid]
+        self._crc_streaks.pop(cid, None)
+        self._damage_marks.pop(cid, None)  # died desynced: no recovery
         if self._last_cid == cid:
             self._last_cid = None
         return True
 
     # ------------------------------------------------------------------
     def decompress_frame(self, data: bytes) -> List[TcpSegment]:
-        """Reconstruct the new (non-duplicate) TCP ACKs in a frame."""
+        """Reconstruct the new (non-duplicate) TCP ACKs in a frame.
+
+        Never raises: corruption of any shape lands in a counter."""
         self.frames_processed += 1
         try:
             first_msn8, entries = parse_frame(data)
         except ParseError:
             self.parse_errors += 1
+            return []
+        except Exception:
+            self.internal_errors += 1
             return []
         first_msn = lsb_decode(first_msn8, 8, self.last_msn + 1,
                                p=self.MSN_P)
@@ -107,11 +160,28 @@ class Decompressor:
             if msn <= self.last_msn:
                 self.duplicates_skipped += 1
                 continue
+            prev_msn = self.last_msn
             self.last_msn = msn
             if cid is None:
                 self.parse_errors += 1
                 continue
-            segment = self._apply(cid, entry)
+            try:
+                segment = self._apply(cid, entry)
+            except Exception:
+                # Nothing the wire can carry may crash the receive
+                # path; a blow-up in the entry machinery becomes a
+                # counted drop of the rest of the frame.
+                self.internal_errors += 1
+                break
+            if segment is self._RETRY:
+                # First CRC miss on this context: leave the entry
+                # unconsumed and stop trusting the rest of the frame.
+                # §3.4 retention re-offers the same bytes, so transient
+                # corruption gets a free retry before the context is
+                # condemned (DESYNC_AFTER).
+                self.last_msn = prev_msn
+                self.mid_frame_aborts += 1
+                break
             if segment is not None:
                 output.append(segment)
         return output
@@ -127,10 +197,29 @@ class Decompressor:
         new_state = apply_entry(entry, context.state)
         if crc3(new_state.crc_input()) != entry.crc:
             self.crc_failures += 1
-            context.damaged = True
+            streak = self._crc_streaks.get(cid, 0) + 1
+            self._crc_streaks[cid] = streak
+            if streak < self.DESYNC_AFTER:
+                return self._RETRY
+            # Repeated mismatch: the context itself no longer agrees
+            # with the compressor.  Declare desync; delta entries are
+            # dead weight until an absolute entry or a vanilla ACK
+            # re-anchors the state.
+            self._crc_streaks.pop(cid, None)
+            if not context.damaged:
+                context.damaged = True
+                self.desync_events += 1
+                self._damage_marks[cid] = (self._now(),
+                                           self.frames_processed)
             return None
+        was_damaged = context.damaged
         context.state = new_state
         context.damaged = False
+        if self._crc_streaks:
+            self._crc_streaks.pop(cid, None)
+        if was_damaged:
+            # An absolute (rebase) entry repaired the context in-band.
+            self._mark_recovered(cid)
         self.acks_reconstructed += 1
         return TcpSegment(
             flow_id=context.flow_id, src=context.src, dst=context.dst,
@@ -138,3 +227,30 @@ class Decompressor:
             rwnd=new_state.rwnd, ts_val=new_state.ts_val,
             ts_ecr=new_state.ts_ecr, sack_blocks=entry.sack_blocks,
             five_tuple=context.five_tuple)
+
+    # ------------------------------------------------------------------
+    def _mark_recovered(self, cid: int) -> None:
+        mark = self._damage_marks.pop(cid, None)
+        self.recoveries += 1
+        if mark is not None:
+            declared_ns, declared_frames = mark
+            self.recovery_ns_total += self._now() - declared_ns
+            self.recovery_frames_total += (self.frames_processed
+                                           - declared_frames)
+
+    @property
+    def open_desyncs(self) -> int:
+        """Contexts currently declared desynchronized."""
+        return len(self._damage_marks)
+
+    def robustness_counters(self) -> Dict[str, int]:
+        """The attack-facing counters (all zero cooperatively)."""
+        return {
+            "mid_frame_aborts": self.mid_frame_aborts,
+            "desync_events": self.desync_events,
+            "recoveries": self.recoveries,
+            "open_desyncs": self.open_desyncs,
+            "recovery_ns_total": self.recovery_ns_total,
+            "recovery_frames_total": self.recovery_frames_total,
+            "internal_errors": self.internal_errors,
+        }

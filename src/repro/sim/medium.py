@@ -184,6 +184,12 @@ class Medium:
         self.frames_collided = 0
         #: Optional observers called with each completed Transmission.
         self.observers: List[Callable[[Transmission], None]] = []
+        #: Optional adversarial hook: called with each *cleanly
+        #: delivered* frame just before dispatch, and may rewrite its
+        #: payload in place (frames that passed the link-layer FCS but
+        #: carry corrupted contents — see repro.adversary.mutator).
+        #: None (the default) costs one attribute check per frame.
+        self.tamper: Optional[Callable[[Any], None]] = None
 
     # ------------------------------------------------------------------
     def attach(self, listener: MediumListener,
@@ -329,6 +335,8 @@ class Medium:
         else:
             group = self._cells[tx.cell]
             group.airtime_ns += tx.end - tx.start
+            if self.tamper is not None:
+                self.tamper(frame)
             target = group.by_address.get(getattr(frame, "dst", None))
             for listener in group.listeners:
                 if listener is sender:

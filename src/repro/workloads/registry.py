@@ -18,6 +18,7 @@ import difflib
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Sequence
 
+from ..adversary import AdversaryConfig
 from ..core.policies import HackPolicy
 from ..sim.units import MS, SEC, usec
 from ..traffic.arrivals import ArrivalSpec, SizeSpec
@@ -276,6 +277,45 @@ def _city_20cell() -> ScenarioConfig:
         channels=3, traffic="tcp_download",
         policy=HackPolicy.MORE_DATA,
         duration_ns=2 * SEC, warmup_ns=1 * SEC, stagger_ns=0)
+
+
+# -- Adversarial scenarios (repro.adversary) ---------------------------
+@register("adv-greedy",
+          "a CW-cheating greedy station among four honest uploaders "
+          "(intensity 1.0: the cheater always draws zero backoff) — "
+          "MAC-layer misbehaviour, HACK on")
+def _adv_greedy() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=4,
+        traffic="tcp_upload", policy=HackPolicy.MORE_DATA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS,
+        adversary=AdversaryConfig(kind="greedy", intensity=1.0))
+
+
+@register("adv-jammer",
+          "a duty-cycled energy jammer at 50% intensity over bulk "
+          "TCP/HACK downloads — honest stations defer through the "
+          "bursts and goodput scales with the quiet fraction")
+def _adv_jammer() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=3,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS,
+        adversary=AdversaryConfig(kind="jammer", intensity=0.5))
+
+
+@register("adv-mutator",
+          "an on-air compressed-ACK mutator in storm mode driving "
+          "ROHC context desyncs — exercises the decompressor's "
+          "containment and measured context recovery (stall guard "
+          "keeps HACK's buffered chain moving)")
+def _adv_mutator() -> ScenarioConfig:
+    return ScenarioConfig(
+        phy_mode="11n", data_rate_mbps=150.0, n_clients=3,
+        traffic="tcp_download", policy=HackPolicy.MORE_DATA,
+        duration_ns=3 * SEC, warmup_ns=1 * SEC, stagger_ns=50 * MS,
+        adversary=AdversaryConfig(kind="mutator", intensity=0.6,
+                                  mutate_mode="storm"))
 
 
 @register("sora-testbed",

@@ -38,6 +38,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..adversary import AdversaryConfig, GreedyDcfMac
+from ..adversary.runtime import adversary_block, install_adversary
 from ..core.driver import HackDriver
 from ..core.policies import HackConfig, HackPolicy
 from ..mac.dcf import DcfMac
@@ -180,6 +182,13 @@ class ScenarioConfig:
     #: are then histogram-quantised at the aggregator's documented
     #: resolution (~2.3%).  Exact record mode stays the default.
     stream_stats: bool = False
+    #: Deterministic fault-injection plan (repro.adversary): a greedy
+    #: CW-cheating station, a jammer, or an on-air compressed-ACK
+    #: mutator.  None — and any plan with intensity 0 — installs
+    #: nothing and runs bit-identical to the cooperative scenario.
+    #: Part of the config on purpose: sweep cache signatures, sharding
+    #: and replay treat attacked points like any other point.
+    adversary: Optional[AdversaryConfig] = None
 
     @property
     def phy(self) -> PhyParams:
@@ -219,6 +228,8 @@ class ScenarioConfig:
                 raise ValueError(
                     f"cell_channel entries {bad} outside "
                     f"range({self.channels})")
+        if self.adversary is not None:
+            self.adversary.validate()
 
     def clients_in_cell(self, cell: int) -> int:
         if self.cell_clients is not None:
@@ -314,6 +325,13 @@ class ScenarioResult:
     trace: Optional[MediumTracer] = None
     #: Event-kernel counters for this run (see ``SimStats.as_dict``).
     kernel_stats: Dict[str, int] = field(default_factory=dict)
+    #: ROHC robustness/containment counters (``metrics_dict()["rohc"]``)
+    #: summed across drivers — desyncs, recoveries, aborted frames,
+    #: chain repairs.  All zero in cooperative runs.
+    rohc_counters: Dict[str, int] = field(default_factory=dict)
+    #: The ``metrics_dict()["adversary"]`` block — present exactly when
+    #: ``config.adversary`` is set (zeroed counters for inert plans).
+    adversary_counters: Optional[Dict[str, Any]] = None
     #: Flow-churn results (``FctCollector.summary``); None for
     #: scenarios without an arrival process.
     fct: Optional[Dict[str, Any]] = None
@@ -421,6 +439,7 @@ class ScenarioResult:
             "cells": [dict(block) for block in self.cell_blocks],
             "cell_fairness_index": self.cell_fairness_index,
             "channels": [dict(block) for block in self.channel_blocks],
+            "rohc": dict(self.rohc_counters),
         }
         # Conditional keys: absent unless the run opted in, so every
         # telemetry-off metrics dict (golden rows, cached sweep
@@ -429,6 +448,8 @@ class ScenarioResult:
             out["telemetry"] = dict(self.telemetry)
         if self.shard_blocks is not None:
             out["shards"] = [dict(block) for block in self.shard_blocks]
+        if self.adversary_counters is not None:
+            out["adversary"] = dict(self.adversary_counters)
         return out
 
     def summary_dict(self) -> Dict[str, Any]:
@@ -564,6 +585,15 @@ class CellBuilder:
         self.udp_background: List[tuple] = []   # (name, source)
         self.clients: Dict[str, ClientNode] = {}
         self.drivers: Dict[str, HackDriver] = {}
+        # Active greedy plan: which station addresses cheat (the first
+        # N clients of global cell 0) and the cheaters actually built.
+        adv = cfg.adversary
+        self.greedy_names = frozenset()
+        if adv is not None and adv.active and adv.kind == "greedy":
+            names = cfg.cell_client_names(0)
+            self.greedy_names = frozenset(
+                names[:adv.greedy_stations])
+        self.greedy_macs: List[GreedyDcfMac] = []
 
     def make_mac(self, address: str, queue_limit: Optional[int],
                  cell: int, medium: Medium,
@@ -585,6 +615,15 @@ class CellBuilder:
         elif cfg.rate_adaptation is not None:
             raise ValueError(
                 f"unknown rate_adaptation {cfg.rate_adaptation!r}")
+        if address in self.greedy_names:
+            mac = GreedyDcfMac(
+                self.sim, medium, phy, address, params,
+                self.rngs.stream(f"mac-{address}"),
+                stats=self.mac_stats, loss_model=loss_model,
+                rate_control_factory=factory, cell=cell,
+                cheat=cfg.adversary.intensity)
+            self.greedy_macs.append(mac)
+            return mac
         return DcfMac(self.sim, medium, phy, address, params,
                       self.rngs.stream(f"mac-{address}"),
                       stats=self.mac_stats, loss_model=loss_model,
@@ -821,6 +860,14 @@ def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
     clients = builder.clients
     drivers = builder.drivers
 
+    # Adversarial actors (inactive plans install nothing at all, so
+    # zero-intensity runs stay bit-identical to adversary=None runs;
+    # greedy stations were already substituted at MAC build time).
+    adversary_runtime = install_adversary(
+        cfg.adversary, sim, rngs, media, channels, cfg.duration_ns)
+    if adversary_runtime is not None:
+        adversary_runtime.greedy_macs = builder.greedy_macs
+
     session: Optional[TelemetrySession] = None
     if telemetry is not None:
         session = TelemetrySession(cfg, telemetry, sim, media,
@@ -913,6 +960,17 @@ def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
         for key, value in driver.decompressor_counters().items():
             decomp[key] += value
 
+    rohc: Dict[str, int] = dict.fromkeys(
+        HackDriver.ROHC_ROBUSTNESS_KEYS, 0)
+    for driver in drivers.values():
+        for key, value in driver.rohc_robustness_counters().items():
+            rohc[key] = rohc.get(key, 0) + value
+
+    adversary_counters = None
+    if cfg.adversary is not None:
+        adversary_counters = adversary_block(cfg.adversary,
+                                             adversary_runtime)
+
     cell_blocks = [
         _cell_block(cfg, net, media.medium(cfg.channel_of(net.index)),
                     per_flow, udp_ids, background_mbps)
@@ -937,6 +995,8 @@ def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
         drivers=drivers,
         trace=tracer if cfg.trace else None,
         kernel_stats=sim.stats.as_dict(),
+        rohc_counters=rohc,
+        adversary_counters=adversary_counters,
         fct=fct_summary,
         traffic_manager=cells[0].flow_manager,
         traffic_managers=[net.flow_manager for net in cells],

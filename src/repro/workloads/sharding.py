@@ -56,6 +56,7 @@ from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, \
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..adversary.runtime import merge_adversary_blocks
 from ..obs import MetricsRegistry, TelemetryConfig, \
     merge_span_blocks, telemetry_meta, write_telemetry_file
 from ..stats.collectors import MacStats
@@ -129,6 +130,11 @@ class ShardOutcome:
     decomp_counters: Dict[str, int]
     kernel_stats: Dict[str, int]
     udp_background_goodput_mbps: Dict[str, float]
+    #: ROHC robustness counters (metrics_dict()["rohc"]; summed).
+    rohc_counters: Dict[str, int] = field(default_factory=dict)
+    #: Adversary block (metrics_dict()["adversary"]; None when the
+    #: config has no adversary; integer fields summed on merge).
+    adversary_counters: Optional[Dict[str, Any]] = None
     #: (cell index, cell block) in build (= ascending-cell) order.
     cell_blocks: List[Tuple[int, Dict[str, Any]]] = field(
         default_factory=list)
@@ -203,6 +209,10 @@ def execute_shard(cfg, cell_indices: Tuple[int, ...],
         kernel_stats=dict(result.kernel_stats),
         udp_background_goodput_mbps=dict(
             result.udp_background_goodput_mbps),
+        rohc_counters=dict(result.rohc_counters),
+        adversary_counters=(dict(result.adversary_counters)
+                            if result.adversary_counters is not None
+                            else None),
         cell_blocks=blocks,
         channel_block=dict(result.channel_blocks[0]),
         collectors=collectors,
@@ -341,6 +351,7 @@ def merge_outcomes(cfg, plan: ShardPlan,
     driver_metrics: Dict[str, Dict[str, int]] = {}
     mac_stats = MacStats()
     decomp: Dict[str, int] = {}
+    rohc: Dict[str, int] = {}
     for outcome in ordered:
         completion.update(outcome.completion_times_ns)
         sender_counters.update(outcome.sender_counters)
@@ -349,6 +360,10 @@ def merge_outcomes(cfg, plan: ShardPlan,
         mac_stats.merge(outcome.mac_stats)
         for key, value in outcome.decomp_counters.items():
             decomp[key] = decomp.get(key, 0) + value
+        for key, value in outcome.rohc_counters.items():
+            rohc[key] = rohc.get(key, 0) + value
+    adversary_counters = merge_adversary_blocks(
+        outcome.adversary_counters for outcome in ordered)
 
     # Per-shard kernel/telemetry blocks, plan order: independent
     # simulators' counters are reported, never summed.
@@ -413,6 +428,8 @@ def merge_outcomes(cfg, plan: ShardPlan,
         shard_info=shard_info,
         shard_blocks=shard_blocks,
         telemetry=telemetry_block,
+        rohc_counters=rohc,
+        adversary_counters=adversary_counters,
     )
 
 

@@ -1,0 +1,115 @@
+"""HACK buffered-chain repair under mid-buffer corruption.
+
+``build_frame`` requires consecutive MSNs.  If corruption (or any
+future bookkeeping bug) ever leaves a hole in the buffered compressed
+ACK chain, the driver must flush the survivors to vanilla and carry
+on — never stall the chain or abort the MAC's response transmission.
+"""
+
+from collections import deque
+
+from repro.core.driver import HackDriver
+from repro.core.policies import HackConfig, HackPolicy
+from repro.mac.frames import AmpduFrame, Mpdu
+from repro.sim.engine import Simulator
+from repro.tcp.segment import FiveTuple, TcpSegment
+
+FT = FiveTuple("10.0.0.1", "10.0.1.1", 5001, 80)
+
+
+class FakeMac:
+    def __init__(self):
+        self.upper = None
+        self.queues = {}
+        self.enqueued = []
+
+    def enqueue(self, payload, dst):
+        self.queues.setdefault(dst, deque()).append(payload)
+        self.enqueued.append((payload, dst))
+        return True
+
+    def remove_from_queue(self, dst, predicate):
+        queue = self.queues.get(dst, deque())
+        kept, removed = deque(), []
+        for item in queue:
+            (removed if predicate(item) else kept).append(item)
+        self.queues[dst] = kept
+        return removed
+
+
+def tcp_ack(ack_no, ts=10):
+    return TcpSegment(flow_id=1, src="C1", dst="SRV", seq=0,
+                      payload_bytes=0, ack=ack_no, rwnd=65535,
+                      ts_val=ts, ts_ecr=ts - 1, five_tuple=FT)
+
+
+def tcp_data(seq):
+    return TcpSegment(flow_id=1, src="SRV", dst="C1", seq=seq,
+                      payload_bytes=1460, ack=0, rwnd=0,
+                      five_tuple=FT.reversed())
+
+
+def data_ppdu(seqs, more_data=True):
+    mpdus = [Mpdu(src="AP", dst="C1", seq=s,
+                  payload=tcp_data(s * 1460), more_data=more_data)
+             for s in seqs]
+    return AmpduFrame(mpdus=mpdus, rate_mbps=150.0), mpdus
+
+
+def driver_with_buffer(n_entries=3):
+    """A MORE DATA driver holding ``n_entries`` compressed ACKs."""
+    sim, mac = Simulator(), FakeMac()
+    driver = HackDriver(sim, mac,
+                        HackConfig.for_policy(HackPolicy.MORE_DATA))
+    frame, mpdus = data_ppdu([0, 1])
+    driver.on_data_ppdu(frame, "AP", mpdus)
+    driver.send_packet(tcp_ack(1460), "AP")  # context init (vanilla)
+    for i in range(n_entries):
+        driver.send_packet(tcp_ack(2920 + 1460 * i, ts=11 + i), "AP")
+    ps = driver.peer("AP")
+    assert len(ps.buffer) == n_entries
+    return driver, mac, ps
+
+
+class TestChainRepair:
+    def test_consecutive_buffer_builds_fine(self):
+        driver, _, _ = driver_with_buffer()
+        assert driver.hack_payload_for("AP") is not None
+        assert driver.stats.chain_repairs == 0
+
+    def test_mid_buffer_hole_flushes_survivors_to_vanilla(self):
+        driver, mac, ps = driver_with_buffer()
+        survivors = [ps.buffer[0].msn, ps.buffer[2].msn]
+        del ps.buffer[1]  # corruption left a hole in the MSN chain
+        sent_before = len(mac.enqueued)
+        assert driver.hack_payload_for("AP") is None
+        assert driver.stats.chain_repairs == 1
+        assert ps.buffer == []  # nothing stalls in the buffer
+        # Both survivors were re-sent as vanilla ACKs.
+        assert len(mac.enqueued) - sent_before == len(survivors)
+
+    def test_confirmation_repairs_broken_chain(self):
+        driver, mac, ps = driver_with_buffer(n_entries=4)
+        # First entry confirmed (rode a previous response); corruption
+        # left a hole in the middle of the unsent remainder.
+        ps.buffer[0].sent_once = True
+        del ps.buffer[2]
+        frame, mpdus = data_ppdu([2, 3])
+        driver.on_data_ppdu(frame, "AP", mpdus)
+        # The confirmation strips the sent prefix; what remains is a
+        # broken chain the driver repairs eagerly (flush to vanilla)
+        # instead of tripping over at the next build_frame.
+        assert driver.stats.chain_repairs == 1
+        assert ps.buffer == []
+        assert driver.hack_payload_for("AP") is None
+
+    def test_repair_keeps_driving_compression(self):
+        driver, _, ps = driver_with_buffer()
+        del ps.buffer[1]
+        assert driver.hack_payload_for("AP") is None  # repair flush
+        # The chain restarts cleanly afterwards.
+        driver.send_packet(tcp_ack(50_000, ts=40), "AP")
+        driver.send_packet(tcp_ack(51_460, ts=41), "AP")
+        payload = driver.hack_payload_for("AP")
+        assert payload is not None
+        assert driver.stats.chain_repairs == 1

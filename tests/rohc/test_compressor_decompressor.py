@@ -202,22 +202,38 @@ class TestFailureContainment:
         out = decomp.decompress_frame(bytes(frame))
         assert out == []
         assert decomp.crc_failures == 1
+        # A first mismatch is treated as transient: the entry's MSN is
+        # not consumed (mid-frame abort), so the §3.4 re-offer of the
+        # clean bytes decodes normally and no desync is declared.
+        assert decomp.mid_frame_aborts == 1
+        assert decomp.desync_events == 0
+        out = decomp.decompress_frame(build_frame([e1]))
+        assert [s.ack for s in out] == [4380]
 
     def test_damaged_context_repaired_by_absolute(self):
         comp, decomp = linked_pair()
         e1 = comp.compress(ack(ack_no=4380))
         frame = bytearray(build_frame([e1]))
         frame[-1] ^= 0xFF
+        # A second consecutive mismatch on the same context declares
+        # a desynchronization (two-stage containment).
         decomp.decompress_frame(bytes(frame))
+        decomp.decompress_frame(bytes(frame))
+        assert decomp.crc_failures == 2
+        assert decomp.desync_events == 1
+        assert decomp.open_desyncs == 1
         # Delta entries are suppressed while damaged...
         e2 = comp.compress(ack(ack_no=7300))
         assert decomp.decompress_frame(build_frame([e2])) == []
         assert decomp.damaged_skips == 1
-        # ...until an absolute entry repairs the context.
+        # ...until an absolute entry repairs the context (and the
+        # repair is counted as a measured recovery).
         comp.rebase_all()
         e3 = comp.compress(ack(ack_no=10220))
         out = decomp.decompress_frame(build_frame([e3]))
         assert [s.ack for s in out] == [10220]
+        assert decomp.recoveries == 1
+        assert decomp.open_desyncs == 0
 
     def test_garbage_frame_counted(self):
         decomp = Decompressor()
