@@ -128,6 +128,20 @@ def _build_parser() -> argparse.ArgumentParser:
                      help="discipline variant: periodic|reactive for "
                           "the jammer, flip|cid|storm for the mutator "
                           "(defaults: periodic / flip)")
+    sim.add_argument("--cc", choices=("reno", "cubic"),
+                     default="reno",
+                     help="TCP congestion control (default reno; "
+                          "cubic = RFC 8312 window growth)")
+    sim.add_argument("--pacing", action="store_true",
+                     help="pace TCP senders at ~2*cwnd/SRTT instead "
+                          "of bursting the whole window")
+    sim.add_argument("--qdisc",
+                     choices=("droptail", "codel", "fq_codel"),
+                     default="droptail",
+                     help="per-station MAC queue discipline "
+                          "(default droptail; codel = RFC 8289 "
+                          "sojourn AQM, fq_codel = RFC 8290 per-flow "
+                          "DRR + CoDel)")
     sim.add_argument("--stream-stats", action="store_true",
                      help="bounded-memory streaming FCT aggregation "
                           "for churn scenarios (percentiles "
@@ -188,9 +202,20 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _simulate(args: argparse.Namespace) -> int:
     if args.scenario is not None:
+        # Transport/queue flags override the registry entry only when
+        # set away from their defaults, so e.g. `--scenario
+        # churn-cubic-codel` keeps its registered cc/qdisc.
+        transport_overrides = {}
+        if args.cc != "reno":
+            transport_overrides["cc"] = args.cc
+        if args.pacing:
+            transport_overrides["pacing"] = True
+        if args.qdisc != "droptail":
+            transport_overrides["queue_discipline"] = args.qdisc
         try:
             config = registry.build(args.scenario, seed=args.seed,
-                                    stream_stats=args.stream_stats)
+                                    stream_stats=args.stream_stats,
+                                    **transport_overrides)
         except UnknownScenarioError as error:
             print(f"error: {error.args[0]}", file=sys.stderr)
             return 2
@@ -215,7 +240,9 @@ def _simulate(args: argparse.Namespace) -> int:
             rate_adaptation="aarf" if args.aarf else None,
             extra_response_delay_ns=usec(37) if args.sora else 0,
             ack_timeout_extra_ns=usec(60) if args.sora else 0,
-            stagger_ns=50 * MS, stream_stats=args.stream_stats)
+            stagger_ns=50 * MS, stream_stats=args.stream_stats,
+            cc=args.cc, pacing=args.pacing,
+            queue_discipline=args.qdisc)
     if args.adversary is not None:
         adv_kwargs = {"kind": args.adversary,
                       "intensity": args.adversary_intensity}
@@ -316,6 +343,14 @@ def _simulate(args: argparse.Namespace) -> int:
             print(f"  context recovery: {mean_ms:8.2f} ms mean, "
                   f"{rohc['recovery_frames_total']} HACK frames "
                   f"spent desynced")
+    aqm = result.aqm_counters
+    if aqm and (aqm["discipline"] != "droptail" or aqm["drops"]):
+        parts = [f"{aqm['drops']} drops",
+                 f"{aqm['dequeued']} dequeued"]
+        if aqm["sojourn_p99_ms"] is not None:
+            parts.append(f"sojourn p50 {aqm['sojourn_p50_ms']:.2f} / "
+                         f"p99 {aqm['sojourn_p99_ms']:.2f} ms")
+        print(f"AQM ({aqm['discipline']:<9}): " + ", ".join(parts))
     adv = result.adversary_counters
     if adv is not None:
         print(f"adversary         : {adv['kind']} @ intensity "

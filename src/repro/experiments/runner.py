@@ -23,9 +23,9 @@ import sys
 import time
 from pathlib import Path
 
-from . import ablations, adversarial, city_scale, crossval, \
-    fct_churn, fig01, fig09, fig10, fig11, fig12, multi_ap, table2, \
-    table3
+from . import ablations, adversarial, aqm_pacing, city_scale, \
+    crossval, fct_churn, fig01, fig09, fig10, fig11, fig12, multi_ap, \
+    table2, table3
 from .batch import SweepInterrupted, SweepResult, SweepRunner
 from .progress import ProgressReporter
 
@@ -43,6 +43,7 @@ EXPERIMENTS = {
     "multi_ap": multi_ap,    # extension: overlapping co-channel cells
     "city_scale": city_scale,  # extension: channel-sharded city grid
     "adversarial": adversarial,  # extension: robustness under attack
+    "aqm_pacing": aqm_pacing,  # extension: modern transport & AQM tier
 }
 
 DEFAULT_CACHE_DIR = ".sweep-cache"

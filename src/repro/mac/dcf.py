@@ -50,6 +50,7 @@ from .blockack import BlockAckOriginator, BlockAckRecipient
 from .frames import AckFrame, AmpduFrame, BarFrame, BlockAckFrame, \
     DataFrame, Mpdu
 from .params import MacParams
+from .qdisc import QdiscStats, make_queue
 
 
 class MacUpper:
@@ -137,8 +138,11 @@ class DcfMac(MediumListener):
         self._rate_controllers: Dict[str, Any] = {}
         medium.attach(self, cell=cell)
 
-        # Transmit-side state
-        self._queues: Dict[str, Deque] = {}
+        # Transmit-side state.  Per-destination queues are built by the
+        # configured queue discipline (drop-tail / CoDel / FQ-CoDel);
+        # all of one station's queues share a single stats block.
+        self._queues: Dict[str, Any] = {}
+        self.qdisc_stats = QdiscStats()
         self._dest_order: List[str] = []
         self._rr_index = 0
         self._originators: Dict[str, BlockAckOriginator] = {}
@@ -208,17 +212,20 @@ class DcfMac(MediumListener):
         queue = self._queues.get(dst)
         if not queue:
             return []
-        kept, removed = deque(), []
-        for item in queue:
-            (removed if predicate(item) else kept).append(item)
-        self._queues[dst] = kept
-        return removed
+        # Filtering in place (rather than rebuilding the container)
+        # preserves the discipline's AQM state and arrival timestamps.
+        return queue.filter_out(predicate)
 
-    def _queue_for(self, dst: str) -> Deque:
+    def _queue_for(self, dst: str):
         if dst not in self._queues:
-            self._queues[dst] = deque()
+            self._queues[dst] = make_queue(
+                self.sim, self.params, self.qdisc_stats)
             self._dest_order.append(dst)
         return self._queues[dst]
+
+    def aqm_stats(self) -> Dict[str, Any]:
+        """This station's queue-discipline counters as a JSON block."""
+        return self.qdisc_stats.block(self.params.queue_discipline)
 
     def _originator_for(self, dst: str) -> BlockAckOriginator:
         if dst not in self._originators:

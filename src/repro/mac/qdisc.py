@@ -1,0 +1,436 @@
+"""Queue disciplines for the per-destination MAC transmit queues.
+
+Three disciplines share one deque-shaped contract (``append``,
+``popleft``, ``[0]`` peek, ``len``, truthiness, ``filter_out``), so
+``DcfMac`` and the A-MPDU batcher stay agnostic:
+
+* ``DropTailQueue`` — FIFO, byte-for-byte the behaviour of the plain
+  ``deque`` it replaces (tail drops stay in ``DcfMac.enqueue``), but
+  it timestamps arrivals so sojourn percentiles exist for every
+  discipline.
+* ``CoDelQueue`` — CoDel (RFC 8289): head drops at dequeue when the
+  head packet's sojourn time has exceeded ``target`` for at least one
+  ``interval``, with the ``interval/sqrt(count)`` control law and
+  count decay on re-entry.  Driven entirely by simulated time.
+* ``FqCodelQueue`` — FQ-CoDel (RFC 8290): flows hashed by the
+  payload's ``flow_id`` into per-flow CoDel sub-queues served by
+  deficit round-robin with new-flow priority.
+
+Peek-then-pop coherence: the A-MPDU batcher peeks ``queue[0]`` and
+then pops at the same simulated timestamp, so AQM head-dropping is
+performed by an idempotent ``_advance(now)`` pass that CoDel runs
+before both — the packet returned by a peek is the packet a same-time
+pop yields.  Drop-tail (the default on every historical scenario) has
+no AQM pass at all: its pop/peek path is kept to the minimum over the
+plain ``deque`` it replaced, because these run once per MPDU on the
+MAC hot path (the kernel benchmark gate is the regression net).
+
+CoDel never drops the last remaining packet (RFC 8289 §4.1), which
+also keeps queue truthiness coherent for the MAC's has-work checks.
+
+Sojourn times are recorded on *successful dequeue* (delivered to the
+MAC) into a log-spaced histogram mirroring ``repro.stats.fct`` so the
+blocks merge exactly across channel shards.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+from ..sim.units import MS
+
+#: Log-histogram resolution (matches repro.stats.fct.FctAggregator so
+#: percentile semantics are familiar and shard merges are exact).
+BINS_PER_DECADE = 100
+MIN_SOJOURN_MS = 1e-6
+
+#: CoDel defaults (RFC 8289 §4.2-4.3).
+CODEL_TARGET_NS = 5 * MS
+CODEL_INTERVAL_NS = 100 * MS
+#: FQ-CoDel DRR quantum: one full-size Ethernet frame (RFC 8290 §5.2).
+FQ_QUANTUM_BYTES = 1514
+
+DISCIPLINES = ("droptail", "codel", "fq_codel")
+
+
+_floor = math.floor
+_log10 = math.log10
+
+
+def _bin_index(ms: float) -> int:
+    return _floor(_log10(max(ms, MIN_SOJOURN_MS)) * BINS_PER_DECADE)
+
+
+def _bin_value(index: int) -> float:
+    return 10.0 ** ((index + 0.5) / BINS_PER_DECADE)
+
+
+def _histogram_percentile(bins: Dict[int, int], count: int,
+                          fraction: float) -> Optional[float]:
+    """Rank-interpolated percentile over a sparse {bin: count} dict."""
+    if count <= 0:
+        return None
+    rank = fraction * (count - 1)
+    seen = 0
+    for index in sorted(bins):
+        seen += bins[index]
+        if seen > rank:
+            return _bin_value(index)
+    return _bin_value(max(bins))
+
+
+class SojournHistogram:
+    """Sparse log-histogram of queue sojourn times (milliseconds)."""
+
+    __slots__ = ("bins", "count")
+
+    def __init__(self) -> None:
+        self.bins: Dict[int, int] = {}
+        self.count = 0
+
+    def record_ns(self, sojourn_ns: int) -> None:
+        index = _bin_index(sojourn_ns / MS)
+        self.bins[index] = self.bins.get(index, 0) + 1
+        self.count += 1
+
+    def percentile(self, fraction: float) -> Optional[float]:
+        return _histogram_percentile(self.bins, self.count, fraction)
+
+    def as_dict(self) -> Dict[str, int]:
+        return {str(i): self.bins[i] for i in sorted(self.bins)}
+
+
+class QdiscStats:
+    """Counters shared by every per-destination queue of one MAC."""
+
+    __slots__ = ("drops", "marks", "dequeued", "sojourn")
+
+    def __init__(self) -> None:
+        self.drops = 0          # AQM (head) drops; tail drops are MAC's
+        self.marks = 0          # reserved for ECN
+        self.dequeued = 0
+        self.sojourn = SojournHistogram()
+
+    def on_dequeue(self, sojourn_ns: int) -> None:
+        # Hot path (once per delivered MPDU): the histogram update is
+        # inlined rather than delegated through record_ns/_bin_index.
+        self.dequeued += 1
+        ms = sojourn_ns / MS
+        if ms < MIN_SOJOURN_MS:
+            ms = MIN_SOJOURN_MS
+        index = _floor(_log10(ms) * BINS_PER_DECADE)
+        hist = self.sojourn
+        bins = hist.bins
+        bins[index] = bins.get(index, 0) + 1
+        hist.count += 1
+
+    def block(self, discipline: str) -> Dict[str, Any]:
+        return {
+            "discipline": discipline,
+            "drops": self.drops,
+            "marks": self.marks,
+            "dequeued": self.dequeued,
+            "sojourn_bins": self.sojourn.as_dict(),
+            "sojourn_p50_ms": self.sojourn.percentile(0.50),
+            "sojourn_p99_ms": self.sojourn.percentile(0.99),
+        }
+
+
+class DropTailQueue:
+    """FIFO with arrival timestamps; drop policy stays at the tail
+    (enforced by ``DcfMac.enqueue`` via ``queue_limit``)."""
+
+    __slots__ = ("sim", "stats", "_items")
+
+    def __init__(self, sim, stats: QdiscStats) -> None:
+        self.sim = sim
+        self.stats = stats
+        self._items: deque = deque()   # (payload, enqueued_ns)
+
+    # -- deque contract -------------------------------------------------
+    def append(self, payload: Any) -> None:
+        self._items.append((payload, self.sim.now))
+
+    def popleft(self) -> Any:
+        payload, enqueued_ns = self._items.popleft()
+        self.stats.on_dequeue(self.sim.now - enqueued_ns)
+        return payload
+
+    def __getitem__(self, index: int) -> Any:
+        if index != 0:
+            raise IndexError("qdisc queues only expose the head")
+        return self._items[0][0]
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __bool__(self) -> bool:
+        return bool(self._items)
+
+    def __iter__(self):
+        return (payload for payload, _ in self._items)
+
+    def filter_out(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        """Withdraw payloads matching ``predicate`` (order preserved)."""
+        kept, removed = deque(), []
+        for payload, enqueued_ns in self._items:
+            if predicate(payload):
+                removed.append(payload)
+            else:
+                kept.append((payload, enqueued_ns))
+        self._items = kept
+        return removed
+
+
+class CoDelQueue(DropTailQueue):
+    """CoDel head-drop AQM over the timestamped FIFO."""
+
+    __slots__ = ("target_ns", "interval_ns", "_first_above", "_dropping",
+                 "_count", "_drop_next")
+
+    def __init__(self, sim, stats: QdiscStats,
+                 target_ns: int = CODEL_TARGET_NS,
+                 interval_ns: int = CODEL_INTERVAL_NS) -> None:
+        super().__init__(sim, stats)
+        self.target_ns = target_ns
+        self.interval_ns = interval_ns
+        self._first_above = 0     # when sojourn first crossed target
+        self._dropping = False
+        self._count = 0           # drops in the current dropping state
+        self._drop_next = 0       # absolute time of the next drop
+
+    def popleft(self) -> Any:
+        self._advance(self.sim.now)
+        return super().popleft()
+
+    def __getitem__(self, index: int) -> Any:
+        if index != 0:
+            raise IndexError("qdisc queues only expose the head")
+        self._advance(self.sim.now)
+        return self._items[0][0]
+
+    def _control_gap_ns(self) -> int:
+        return max(1, int(self.interval_ns / math.sqrt(self._count)))
+
+    def _drop_head(self) -> None:
+        self._items.popleft()
+        self.stats.drops += 1
+
+    def _advance(self, now: int) -> None:
+        while self._items:
+            _, enqueued_ns = self._items[0]
+            sojourn = now - enqueued_ns
+            if sojourn < self.target_ns or len(self._items) <= 1:
+                # Below target (or a single packet — never drop the
+                # last one): leave the dropping state.
+                self._first_above = 0
+                self._dropping = False
+                return
+            if self._first_above == 0:
+                self._first_above = now + self.interval_ns
+                return
+            if now < self._first_above:
+                return
+            # Sojourn has stayed above target for a full interval.
+            if not self._dropping:
+                self._dropping = True
+                if (now - self._drop_next < self.interval_ns
+                        and self._count > 2):
+                    # Re-entered soon after leaving: resume the drop
+                    # rate rather than restarting from one.
+                    self._count -= 2
+                else:
+                    self._count = 1
+                self._drop_head()
+                self._drop_next = now + self._control_gap_ns()
+            elif now >= self._drop_next:
+                self._count += 1
+                self._drop_head()
+                self._drop_next = self._drop_next + self._control_gap_ns()
+            else:
+                return
+
+
+#: Bucket key for payloads without a ``flow_id`` (e.g. UDP background
+#: datagrams).  A real sentinel, not ``None`` — ``None`` would collide
+#: with the scheduler's "no flow eligible" result.
+_NO_FLOW = "__no_flow__"
+
+
+class _FqFlow:
+    __slots__ = ("queue", "deficit")
+
+    def __init__(self, queue: CoDelQueue, deficit: int) -> None:
+        self.queue = queue
+        self.deficit = deficit
+
+
+class FqCodelQueue:
+    """FQ-CoDel: per-flow CoDel sub-queues under DRR with new-flow
+    priority.  Flow key is the payload's ``flow_id`` (payloads without
+    one share a single bucket).
+
+    Simplification vs RFC 8290: a flow whose sub-queue empties is
+    forgotten immediately (it re-enters as a new flow on its next
+    packet) instead of lingering on the old-flow list for one round.
+    """
+
+    __slots__ = ("sim", "stats", "target_ns", "interval_ns",
+                 "quantum_bytes", "_flows", "_new", "_old", "_len")
+
+    def __init__(self, sim, stats: QdiscStats,
+                 target_ns: int = CODEL_TARGET_NS,
+                 interval_ns: int = CODEL_INTERVAL_NS,
+                 quantum_bytes: int = FQ_QUANTUM_BYTES) -> None:
+        self.sim = sim
+        self.stats = stats
+        self.target_ns = target_ns
+        self.interval_ns = interval_ns
+        self.quantum_bytes = quantum_bytes
+        self._flows: Dict[Any, _FqFlow] = {}
+        self._new: deque = deque()
+        self._old: deque = deque()
+        self._len = 0
+
+    # -- deque contract -------------------------------------------------
+    def append(self, payload: Any) -> None:
+        key = getattr(payload, "flow_id", _NO_FLOW)
+        flow = self._flows.get(key)
+        if flow is None:
+            flow = _FqFlow(
+                CoDelQueue(self.sim, self.stats,
+                           self.target_ns, self.interval_ns),
+                self.quantum_bytes)
+            self._flows[key] = flow
+            self._new.append(key)
+        before = len(flow.queue)
+        flow.queue.append(payload)
+        self._len += len(flow.queue) - before
+
+    def popleft(self) -> Any:
+        key = self._schedule()
+        if key is None:
+            raise IndexError("pop from an empty FQ-CoDel queue")
+        flow = self._flows[key]
+        before = len(flow.queue)
+        payload = flow.queue.popleft()
+        self._len -= before - len(flow.queue)
+        flow.deficit -= getattr(payload, "byte_length", None) \
+            or self.quantum_bytes
+        if not flow.queue:
+            self._forget(key)
+        return payload
+
+    def __getitem__(self, index: int) -> Any:
+        if index != 0:
+            raise IndexError("qdisc queues only expose the head")
+        key = self._schedule()
+        if key is None:
+            raise IndexError("peek into an empty FQ-CoDel queue")
+        return self._flows[key].queue[0]
+
+    def __len__(self) -> int:
+        return self._len
+
+    def __bool__(self) -> bool:
+        return self._len > 0
+
+    def __iter__(self):
+        for lst in (self._new, self._old):
+            for key in lst:
+                yield from self._flows[key].queue
+
+    def filter_out(self, predicate: Callable[[Any], bool]) -> List[Any]:
+        removed: List[Any] = []
+        for key in list(self._new) + list(self._old):
+            flow = self._flows[key]
+            before = len(flow.queue)
+            removed.extend(flow.queue.filter_out(predicate))
+            self._len -= before - len(flow.queue)
+            if not flow.queue:
+                self._forget(key)
+        return removed
+
+    # -- DRR scheduler --------------------------------------------------
+    def _forget(self, key: Any) -> None:
+        del self._flows[key]
+        try:
+            self._new.remove(key)
+        except ValueError:
+            self._old.remove(key)
+
+    def _schedule(self) -> Optional[Any]:
+        """Pick the flow whose head is next to go.
+
+        Idempotent at a fixed simulated time: state only changes when a
+        head flow is empty (forgotten) or out of deficit (refilled and
+        rotated), so peek-then-pop resolves to the same packet.
+        """
+        while True:
+            if self._new:
+                lst, key = self._new, self._new[0]
+            elif self._old:
+                lst, key = self._old, self._old[0]
+            else:
+                return None
+            flow = self._flows[key]
+            before = len(flow.queue)
+            flow.queue._advance(self.sim.now)
+            self._len -= before - len(flow.queue)
+            if not flow.queue:
+                self._forget(key)
+                continue
+            if flow.deficit <= 0:
+                flow.deficit += self.quantum_bytes
+                lst.popleft()
+                self._old.append(key)
+                continue
+            return key
+
+
+def make_queue(sim, params, stats: QdiscStats):
+    """Build one per-destination queue per ``MacParams``."""
+    discipline = params.queue_discipline
+    if discipline == "droptail":
+        return DropTailQueue(sim, stats)
+    if discipline == "codel":
+        return CoDelQueue(sim, stats, params.codel_target_ns,
+                          params.codel_interval_ns)
+    if discipline == "fq_codel":
+        return FqCodelQueue(sim, stats, params.codel_target_ns,
+                            params.codel_interval_ns,
+                            params.fq_quantum_bytes)
+    raise ValueError(f"unknown queue discipline {discipline!r}")
+
+
+# ----------------------------------------------------------------------
+# Aggregation helpers (scenario metrics + shard merge)
+# ----------------------------------------------------------------------
+def merge_aqm_blocks(blocks: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Merge per-MAC (or per-shard) AQM blocks into one.
+
+    Pure function of the inputs — merged-then-summarised percentiles
+    are bit-identical whether the blocks come from one simulator or
+    from per-channel shards.
+    """
+    blocks = list(blocks)
+    discipline = blocks[0]["discipline"] if blocks else "droptail"
+    merged: Dict[str, Any] = {
+        "discipline": discipline,
+        "drops": 0, "marks": 0, "dequeued": 0,
+    }
+    bins: Dict[int, int] = {}
+    for block in blocks:
+        merged["drops"] += block["drops"]
+        merged["marks"] += block["marks"]
+        merged["dequeued"] += block["dequeued"]
+        for index, count in block["sojourn_bins"].items():
+            index = int(index)
+            bins[index] = bins.get(index, 0) + count
+    count = sum(bins.values())
+    merged["sojourn_bins"] = {str(i): bins[i] for i in sorted(bins)}
+    merged["sojourn_p50_ms"] = _histogram_percentile(bins, count, 0.50)
+    merged["sojourn_p99_ms"] = _histogram_percentile(bins, count, 0.99)
+    return merged

@@ -51,7 +51,8 @@ from .spans import KernelInstrument
 #: Sample-record fields mirrored into per-cell gauges.
 _CELL_FIELDS = ("ap_queue", "wired_down_queue", "wired_up_queue",
                 "live_flows", "hack_buffer", "rohc_cids",
-                "rohc_failures")
+                "rohc_failures", "aqm_backlog", "aqm_drops",
+                "aqm_sojourn_p99_ms")
 
 TELEMETRY_FORMAT = "repro-telemetry"
 TELEMETRY_VERSION = 1
@@ -124,6 +125,16 @@ def telemetry_meta(cfg, config: TelemetryConfig,
             "mutate_mode": adversary.mutate_mode,
         }
     return meta
+
+
+def _cell_sojourn_p99(net) -> float:
+    """Delivered-packet sojourn p99 (ms) across one cell's stations;
+    0.0 until anything has been dequeued (keeps the gauge numeric)."""
+    from ..mac.qdisc import merge_aqm_blocks
+
+    block = merge_aqm_blocks(driver.mac.aqm_stats()
+                             for driver in net.drivers.values())
+    return block["sojourn_p99_ms"] or 0.0
 
 
 def _dump_line(handle: IO[str], record: Dict[str, Any]) -> None:
@@ -247,6 +258,13 @@ class TelemetrySession:
                              for driver in net.drivers.values()),
             "rohc_failures": sum(driver.rohc_failure_count()
                                  for driver in net.drivers.values()),
+            # Queue-discipline probes: total MAC backlog, cumulative
+            # AQM head drops, and the delivered-sojourn p99 so far.
+            "aqm_backlog": sum(driver.mac.total_backlog()
+                               for driver in net.drivers.values()),
+            "aqm_drops": sum(driver.mac.qdisc_stats.drops
+                             for driver in net.drivers.values()),
+            "aqm_sojourn_p99_ms": _cell_sojourn_p99(net),
         }
         return record
 

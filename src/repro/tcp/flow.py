@@ -72,7 +72,8 @@ def wire_flow(sim, flow_id: int, five_tuple, direction: str,
               total_bytes: Optional[int],
               mss: int, initial_cwnd_segments: int,
               initial_ssthresh_bytes: int, delayed_ack: bool,
-              generate_sack: bool, sack_recovery: bool) -> TcpFlow:
+              generate_sack: bool, sack_recovery: bool,
+              cc: str = "reno", pacing: bool = False) -> TcpFlow:
     """Build one flow's sender/receiver pair and attach the endpoints.
 
     The single wiring used by both the static scenario builder and the
@@ -89,7 +90,8 @@ def wire_flow(sim, flow_id: int, five_tuple, direction: str,
             output=server.send, total_bytes=total_bytes, mss=mss,
             initial_cwnd_segments=initial_cwnd_segments,
             initial_ssthresh_bytes=initial_ssthresh_bytes,
-            use_sack=sack_recovery, five_tuple=five_tuple)
+            use_sack=sack_recovery, cc=cc, pacing=pacing,
+            five_tuple=five_tuple)
         server.add_sender(sender)
         receiver = TcpReceiver(
             sim, flow_id, client_name, server.name,
@@ -103,7 +105,8 @@ def wire_flow(sim, flow_id: int, five_tuple, direction: str,
             output=client.transmit, total_bytes=total_bytes, mss=mss,
             initial_cwnd_segments=initial_cwnd_segments,
             initial_ssthresh_bytes=initial_ssthresh_bytes,
-            use_sack=sack_recovery, five_tuple=five_tuple)
+            use_sack=sack_recovery, cc=cc, pacing=pacing,
+            five_tuple=five_tuple)
         client.add_sender(sender)
         receiver = TcpReceiver(
             sim, flow_id, server.name, client_name,

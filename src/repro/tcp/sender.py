@@ -19,6 +19,7 @@ from typing import Callable, Optional
 
 from ..sim.engine import Simulator
 from ..sim.units import MS, SEC
+from .cubic import CubicState
 from .segment import FiveTuple, TcpSegment
 
 
@@ -34,8 +35,12 @@ class TcpSender:
                  min_rto_ns: int = 200 * MS,
                  max_rto_ns: int = 60 * SEC,
                  use_sack: bool = False,
+                 cc: str = "reno",
+                 pacing: bool = False,
                  five_tuple: Optional[FiveTuple] = None,
                  on_complete: Optional[Callable[[], None]] = None):
+        if cc not in ("reno", "cubic"):
+            raise ValueError(f"unknown congestion control {cc!r}")
         self.sim = sim
         self.flow_id = flow_id
         self.src = src
@@ -83,11 +88,33 @@ class TcpSender:
         self._rto_event = None
         self._backoff = 1
 
+        # Congestion-control flavour.  "reno" keeps the classic loop
+        # bit-identical; "cubic" swaps the CA growth law and the
+        # multiplicative-decrease factor (recovery machinery shared).
+        self.cc = cc
+        self._cubic: Optional[CubicState] = \
+            CubicState() if cc == "cubic" else None
+
+        # Pacing: release new segments at ~2*cwnd per SRTT instead of
+        # back-to-back bursts.  Unpaced until the first RTT sample
+        # (nothing to pace against) and for retransmissions (loss
+        # repair should not wait behind the gate).
+        self.pacing = pacing
+        self._pacing_event = None
+        self._next_pace_ns = 0
+
+        # Zero-window persist state: when the peer advertises rwnd=0
+        # we probe with one byte on an exponential-backoff timer until
+        # a nonzero window reopens the flow (RFC 9293 §3.8.6.1 style).
+        self._persist_event = None
+        self._persist_backoff = 1
+
         # Counters.
         self.segments_sent = 0
         self.retransmits = 0
         self.timeouts = 0
         self.fast_retransmits = 0
+        self.persist_probes = 0
         self.completed = False
         self.started = False
 
@@ -129,8 +156,12 @@ class TcpSender:
             length = self._segment_length(self.snd_nxt)
             if length <= 0:
                 break
+            if self.pacing and not self._pacing_gate():
+                break
             self._emit(self.snd_nxt, length)
             self.snd_nxt += length
+            if self.pacing:
+                self._note_paced_send()
         if self.flight_size > 0 and self._rto_event is None:
             self._arm_rto()
 
@@ -152,7 +183,15 @@ class TcpSender:
             return
         if ack_segment.ts_val > self._peer_ts_val:
             self._peer_ts_val = ack_segment.ts_val
-        self.peer_rwnd = ack_segment.rwnd or self.peer_rwnd
+        # Honor a genuine zero-window advertisement: stall new data and
+        # fall back to persist probes instead of keeping the old value.
+        self.peer_rwnd = ack_segment.rwnd
+        if self.peer_rwnd == 0:
+            if self._has_data_at(self.snd_una):
+                self._arm_persist()
+        else:
+            self._persist_backoff = 1
+            self._cancel_persist()
         if self.use_sack and ack_segment.sack_blocks:
             self._register_sack(ack_segment.sack_blocks)
         ack = ack_segment.ack
@@ -211,8 +250,11 @@ class TcpSender:
             retx_in_flight += self.mss
         lost = sum(length for start, length in self._sack_holes()
                    if start not in self._sack_retransmitted)
-        return (self.flight_size - self._sacked_bytes() - lost
-                + retx_in_flight)
+        # Holes and SACKed ranges can double-count after snd_una moves
+        # (e.g. a stale SACK re-registering ranges beyond a rewound
+        # snd_nxt); a negative pipe would over-inject a burst.
+        return max(0, self.flight_size - self._sacked_bytes() - lost
+                   + retx_in_flight)
 
     def _sack_holes(self):
         """Un-SACKed gaps between snd_una and the highest SACKed byte,
@@ -279,6 +321,10 @@ class TcpSender:
         if self.cwnd < self.ssthresh:
             # Slow start: one MSS per ACKed MSS (byte counting).
             self.cwnd += min(newly_acked, self.mss)
+        elif self._cubic is not None and self.srtt_ns is not None:
+            self.cwnd += self._cubic.cwnd_increment(
+                self.sim.now, self.cwnd, newly_acked,
+                self.srtt_ns, self.mss)
         else:
             # Congestion avoidance: one MSS per cwnd of ACKed bytes.
             self._ca_acked_bytes += newly_acked
@@ -298,7 +344,11 @@ class TcpSender:
             self._enter_fast_recovery()
 
     def _enter_fast_recovery(self) -> None:
-        self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
+        if self._cubic is not None:
+            self.ssthresh = self._cubic.on_congestion_event(
+                self.cwnd, self.mss)
+        else:
+            self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
         self.recover = self.snd_nxt
         self.in_recovery = True
         self.fast_retransmits += 1
@@ -323,6 +373,69 @@ class TcpSender:
         self._emit(self.snd_una, length)
 
     # ------------------------------------------------------------------
+    # Pacing
+    # ------------------------------------------------------------------
+    def _pace_gap_ns(self) -> int:
+        """Inter-segment release gap: ~2*cwnd per SRTT."""
+        return max(1, self.srtt_ns * self.mss // (2 * self.cwnd))
+
+    def _pacing_gate(self) -> bool:
+        """True when a new segment may be released now; otherwise arm
+        the pacing timer to resume ``_try_send`` at the release time."""
+        if self.srtt_ns is None:
+            return True
+        if self.sim.now >= self._next_pace_ns:
+            return True
+        if self._pacing_event is None:
+            self._pacing_event = self.sim.schedule(
+                self._next_pace_ns - self.sim.now, self._on_pacing_timer)
+        return False
+
+    def _note_paced_send(self) -> None:
+        if self.srtt_ns is None:
+            return
+        base = max(self.sim.now, self._next_pace_ns)
+        self._next_pace_ns = base + self._pace_gap_ns()
+
+    def _on_pacing_timer(self) -> None:
+        self._pacing_event = None
+        if self.completed:
+            return
+        self._try_send()
+
+    def _cancel_pacing(self) -> None:
+        if self._pacing_event is not None:
+            self._pacing_event.cancel()
+            self._pacing_event = None
+
+    # ------------------------------------------------------------------
+    # Zero-window persist probes
+    # ------------------------------------------------------------------
+    def _arm_persist(self) -> None:
+        if self._persist_event is None and not self.completed:
+            delay = min(self.rto_ns * self._persist_backoff,
+                        self.max_rto_ns)
+            self._persist_event = self.sim.schedule(
+                delay, self._on_persist)
+
+    def _cancel_persist(self) -> None:
+        if self._persist_event is not None:
+            self._persist_event.cancel()
+            self._persist_event = None
+
+    def _on_persist(self) -> None:
+        self._persist_event = None
+        if self.completed or self.peer_rwnd > 0:
+            return
+        if self._has_data_at(self.snd_una):
+            # One-byte window probe at the left edge; the ACK it
+            # solicits carries a fresh window advertisement.
+            self.persist_probes += 1
+            self._emit(self.snd_una, 1)
+        self._persist_backoff = min(self._persist_backoff * 2, 64)
+        self._arm_persist()
+
+    # ------------------------------------------------------------------
     # RTT / RTO
     # ------------------------------------------------------------------
     def _sample_rtt(self, segment: TcpSegment) -> None:
@@ -345,8 +458,12 @@ class TcpSender:
         if reset:
             self._cancel_rto()
         if self._rto_event is None:
+            # The backed-off product must respect the RTO ceiling too
+            # (RFC 6298 §5.5) — rto_ns alone is clamped, but
+            # rto_ns * backoff can reach 60 s * 64 otherwise.
             self._rto_event = self.sim.schedule(
-                self.rto_ns * self._backoff, self._on_rto)
+                min(self.rto_ns * self._backoff, self.max_rto_ns),
+                self._on_rto)
 
     def _cancel_rto(self) -> None:
         if self._rto_event is not None:
@@ -358,7 +475,11 @@ class TcpSender:
         if self.flight_size == 0 or self.completed:
             return
         self.timeouts += 1
-        self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
+        if self._cubic is not None:
+            self.ssthresh = self._cubic.on_congestion_event(
+                self.cwnd, self.mss)
+        else:
+            self.ssthresh = max(self.flight_size // 2, 2 * self.mss)
         self.cwnd = self.mss
         self.in_recovery = False
         self.dup_acks = 0
@@ -375,13 +496,17 @@ class TcpSender:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Tear down: cancel the RTO timer (flow lifecycle reclaim)."""
+        """Tear down: cancel all timers (flow lifecycle reclaim)."""
         self._cancel_rto()
+        self._cancel_pacing()
+        self._cancel_persist()
 
     def _check_complete(self) -> None:
         if (not self.completed and self.total_bytes is not None
                 and self.snd_una >= self.total_bytes):
             self.completed = True
             self._cancel_rto()
+            self._cancel_pacing()
+            self._cancel_persist()
             if self.on_complete is not None:
                 self.on_complete()

@@ -60,6 +60,8 @@ class FlowManager:
                  delayed_ack: bool = True,
                  generate_sack: bool = False,
                  sack_recovery: bool = False,
+                 cc: str = "reno",
+                 pacing: bool = False,
                  ap_name: str = "AP",
                  flow_id_base: int = DYNAMIC_FLOW_ID_BASE,
                  ip_prefix: str = "10.0"):
@@ -81,6 +83,8 @@ class FlowManager:
         self.delayed_ack = delayed_ack
         self.generate_sack = generate_sack
         self.sack_recovery = sack_recovery
+        self.cc = cc
+        self.pacing = pacing
         self.ap_name = ap_name
         #: Per-cell managers use disjoint id ranges (cell i starts at
         #: ``DYNAMIC_FLOW_ID_BASE + i * CELL_FLOW_ID_STRIDE``) so flow
@@ -123,7 +127,8 @@ class FlowManager:
             initial_ssthresh_bytes=self.initial_ssthresh_bytes,
             delayed_ack=self.delayed_ack,
             generate_sack=self.generate_sack,
-            sack_recovery=self.sack_recovery)
+            sack_recovery=self.sack_recovery,
+            cc=self.cc, pacing=self.pacing)
         record = self.collector.open(flow_id, client_name,
                                      self.direction, size_bytes,
                                      self.sim.now)

@@ -220,6 +220,37 @@ def _churn_bursty() -> ScenarioConfig:
                                   p_small=0.9)))
 
 
+@register("churn-cubic-codel",
+          "the churn-poisson workload on the modern stack: CUBIC "
+          "congestion control with CoDel at every station's MAC "
+          "queue (cc / queue_discipline knobs)")
+def _churn_cubic_codel() -> ScenarioConfig:
+    return dataclasses.replace(
+        _churn_base(HackPolicy.MORE_DATA, _poisson_arrivals()),
+        cc="cubic", queue_discipline="codel")
+
+
+@register("churn-paced",
+          "the churn-poisson workload with sender pacing on "
+          "(~2*cwnd/SRTT release instead of back-to-back window "
+          "bursts; pacing knob)")
+def _churn_paced() -> ScenarioConfig:
+    return dataclasses.replace(
+        _churn_base(HackPolicy.MORE_DATA, _poisson_arrivals()),
+        pacing=True)
+
+
+@register("aqm-fqcodel",
+          "Poisson mice riding a 50 Mbps CBR UDP floor per client "
+          "through FQ-CoDel MAC queues — per-flow DRR isolates the "
+          "mice from the standing UDP queue (the aqm_pacing "
+          "experiment's regime)")
+def _aqm_fqcodel() -> ScenarioConfig:
+    return dataclasses.replace(
+        _churn_base(HackPolicy.MORE_DATA, _poisson_arrivals()),
+        udp_background_mbps=50.0, queue_discipline="fq_codel")
+
+
 @register("udp-background",
           "two bulk TCP/HACK downloads sharing the cell with 8 Mbps "
           "of constant-bit-rate UDP noise per client "

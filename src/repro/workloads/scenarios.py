@@ -44,6 +44,7 @@ from ..core.driver import HackDriver
 from ..core.policies import HackConfig, HackPolicy
 from ..mac.dcf import DcfMac
 from ..mac.params import MacParams
+from ..mac.qdisc import merge_aqm_blocks
 from ..mac.rate_control import Aarf
 from ..obs import TelemetryConfig, TelemetrySession, chrome_trace, \
     write_chrome_trace
@@ -150,6 +151,14 @@ class ScenarioConfig:
     #: sender also uses them (simplified RFC 6675).
     generate_sack: bool = False
     sack_recovery: bool = False
+    #: Congestion control for every TCP sender: "reno" (the paper-era
+    #: default, bit-identical to the historical loop) or "cubic".
+    cc: str = "reno"
+    #: Pace new segments at ~2*cwnd/SRTT instead of ACK-clocked bursts.
+    pacing: bool = False
+    #: Queue discipline for every station's per-destination MAC queues:
+    #: "droptail", "codel" or "fq_codel" (see repro.mac.qdisc).
+    queue_discipline: str = "droptail"
     stagger_ns: int = 200 * MS
     wired_rate_mbps: float = 500.0
     wired_delay_ns: int = 1 * MS
@@ -329,6 +338,10 @@ class ScenarioResult:
     #: summed across drivers — desyncs, recoveries, aborted frames,
     #: chain repairs.  All zero in cooperative runs.
     rohc_counters: Dict[str, int] = field(default_factory=dict)
+    #: Queue-discipline block (``metrics_dict()["aqm"]``) merged over
+    #: every station's MAC queues — AQM drops, marks, and delivered-
+    #: packet sojourn percentiles (see ``repro.mac.qdisc``).
+    aqm_counters: Dict[str, Any] = field(default_factory=dict)
     #: The ``metrics_dict()["adversary"]`` block — present exactly when
     #: ``config.adversary`` is set (zeroed counters for inert plans).
     adversary_counters: Optional[Dict[str, Any]] = None
@@ -440,6 +453,7 @@ class ScenarioResult:
             "cell_fairness_index": self.cell_fairness_index,
             "channels": [dict(block) for block in self.channel_blocks],
             "rohc": dict(self.rohc_counters),
+            "aqm": dict(self.aqm_counters),
         }
         # Conditional keys: absent unless the run opted in, so every
         # telemetry-off metrics dict (golden rows, cached sweep
@@ -604,6 +618,7 @@ class CellBuilder:
             data_rate_mbps=cfg.data_rate_mbps,
             aggregation=cfg.use_aggregation,
             queue_limit=queue_limit,
+            queue_discipline=cfg.queue_discipline,
             extra_response_delay_ns=cfg.extra_response_delay_ns,
             ack_timeout_extra_ns=cfg.ack_timeout_extra_ns,
             txop_limit_ns=cfg.txop_limit_ns)
@@ -715,7 +730,8 @@ class CellBuilder:
                 initial_ssthresh_bytes=cfg.initial_ssthresh_bytes,
                 delayed_ack=cfg.delayed_ack,
                 generate_sack=cfg.generate_sack,
-                sack_recovery=cfg.sack_recovery)
+                sack_recovery=cfg.sack_recovery,
+                cc=cfg.cc, pacing=cfg.pacing)
             sender = flow.sender
             self.flows.append(flow)
             net.flows.append(flow)
@@ -745,6 +761,7 @@ class CellBuilder:
             delayed_ack=cfg.delayed_ack,
             generate_sack=cfg.generate_sack,
             sack_recovery=cfg.sack_recovery,
+            cc=cfg.cc, pacing=cfg.pacing,
             ap_name=net.ap_name,
             flow_id_base=DYNAMIC_FLOW_ID_BASE
             + net.index * CELL_FLOW_ID_STRIDE,
@@ -971,6 +988,9 @@ def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
         adversary_counters = adversary_block(cfg.adversary,
                                              adversary_runtime)
 
+    aqm = merge_aqm_blocks(driver.mac.aqm_stats()
+                           for driver in drivers.values())
+
     cell_blocks = [
         _cell_block(cfg, net, media.medium(cfg.channel_of(net.index)),
                     per_flow, udp_ids, background_mbps)
@@ -996,6 +1016,7 @@ def _run_cells(cfg: ScenarioConfig, cell_indices: Tuple[int, ...],
         trace=tracer if cfg.trace else None,
         kernel_stats=sim.stats.as_dict(),
         rohc_counters=rohc,
+        aqm_counters=aqm,
         adversary_counters=adversary_counters,
         fct=fct_summary,
         traffic_manager=cells[0].flow_manager,

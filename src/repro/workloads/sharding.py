@@ -57,6 +57,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..adversary.runtime import merge_adversary_blocks
+from ..mac.qdisc import merge_aqm_blocks
 from ..obs import MetricsRegistry, TelemetryConfig, \
     merge_span_blocks, telemetry_meta, write_telemetry_file
 from ..stats.collectors import MacStats
@@ -132,6 +133,9 @@ class ShardOutcome:
     udp_background_goodput_mbps: Dict[str, float]
     #: ROHC robustness counters (metrics_dict()["rohc"]; summed).
     rohc_counters: Dict[str, int] = field(default_factory=dict)
+    #: AQM block (metrics_dict()["aqm"]; counters summed, sojourn
+    #: histograms merged bin-wise, percentiles recomputed).
+    aqm_counters: Dict[str, Any] = field(default_factory=dict)
     #: Adversary block (metrics_dict()["adversary"]; None when the
     #: config has no adversary; integer fields summed on merge).
     adversary_counters: Optional[Dict[str, Any]] = None
@@ -210,6 +214,7 @@ def execute_shard(cfg, cell_indices: Tuple[int, ...],
         udp_background_goodput_mbps=dict(
             result.udp_background_goodput_mbps),
         rohc_counters=dict(result.rohc_counters),
+        aqm_counters=dict(result.aqm_counters),
         adversary_counters=(dict(result.adversary_counters)
                             if result.adversary_counters is not None
                             else None),
@@ -364,6 +369,9 @@ def merge_outcomes(cfg, plan: ShardPlan,
             rohc[key] = rohc.get(key, 0) + value
     adversary_counters = merge_adversary_blocks(
         outcome.adversary_counters for outcome in ordered)
+    aqm = merge_aqm_blocks(outcome.aqm_counters
+                           for outcome in ordered
+                           if outcome.aqm_counters)
 
     # Per-shard kernel/telemetry blocks, plan order: independent
     # simulators' counters are reported, never summed.
@@ -429,6 +437,7 @@ def merge_outcomes(cfg, plan: ShardPlan,
         shard_blocks=shard_blocks,
         telemetry=telemetry_block,
         rohc_counters=rohc,
+        aqm_counters=aqm,
         adversary_counters=adversary_counters,
     )
 

@@ -124,4 +124,4 @@ class TestRunner:
         assert set(runner.EXPERIMENTS) == {
             "fig01", "fig09", "table2", "table3", "crossval",
             "fig10", "fig11", "fig12", "ablations", "fct_churn",
-            "multi_ap", "city_scale", "adversarial"}
+            "multi_ap", "city_scale", "adversarial", "aqm_pacing"}

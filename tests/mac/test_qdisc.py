@@ -1,0 +1,289 @@
+"""Queue disciplines: DropTail timestamps, CoDel head-drop state
+machine, FQ-CoDel DRR, the shared stats block, and the shard merge."""
+
+import pytest
+
+from repro.mac.params import MacParams
+from repro.mac.qdisc import CoDelQueue, DropTailQueue, FqCodelQueue, \
+    QdiscStats, make_queue, merge_aqm_blocks
+from repro.sim.units import MS
+
+from tests.helpers import FakePayload
+
+
+class FlowPayload(FakePayload):
+    """Payload carrying a flow_id (stands in for a TcpSegment)."""
+
+    def __init__(self, flow_id, byte_length=1000):
+        super().__init__(byte_length=byte_length)
+        self.flow_id = flow_id
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self, sim):
+        q = DropTailQueue(sim, QdiscStats())
+        a, b = FakePayload(), FakePayload()
+        q.append(a)
+        q.append(b)
+        assert q[0] is a
+        assert q.popleft() is a and q.popleft() is b
+
+    def test_sojourn_recorded_on_dequeue(self, sim):
+        stats = QdiscStats()
+        q = DropTailQueue(sim, stats)
+        q.append(FakePayload())
+        sim.run(until=3 * MS)
+        q.popleft()
+        assert stats.dequeued == 1
+        assert stats.drops == 0
+        assert stats.sojourn.percentile(0.5) == \
+            pytest.approx(3.0, rel=0.02)
+
+    def test_len_bool_iter(self, sim):
+        q = DropTailQueue(sim, QdiscStats())
+        assert not q and len(q) == 0
+        payloads = [FakePayload() for _ in range(3)]
+        for p in payloads:
+            q.append(p)
+        assert q and len(q) == 3
+        assert list(q) == payloads
+
+    def test_filter_out_preserves_order_and_timestamps(self, sim):
+        stats = QdiscStats()
+        q = DropTailQueue(sim, stats)
+        keep, drop = FakePayload(kind="keep"), FakePayload(kind="drop")
+        q.append(keep)
+        sim.run(until=5 * MS)
+        q.append(drop)
+        removed = q.filter_out(lambda p: p.kind == "drop")
+        assert removed == [drop]
+        assert len(q) == 1
+        sim.run(until=10 * MS)
+        q.popleft()
+        # keep's arrival stamp survived the filter: 10 ms sojourn.
+        assert stats.sojourn.percentile(0.5) == \
+            pytest.approx(10.0, rel=0.02)
+
+
+class TestCoDelQueue:
+    def fill(self, q, n, byte_length=1000):
+        for _ in range(n):
+            q.append(FakePayload(byte_length=byte_length))
+
+    def test_below_target_never_drops(self, sim):
+        stats = QdiscStats()
+        q = CoDelQueue(sim, stats)
+        for step in range(50):
+            q.append(FakePayload())
+            sim.run(until=sim.now + 2 * MS)     # sojourn 2 ms < 5 ms
+            q.popleft()
+        assert stats.drops == 0
+        assert stats.dequeued == 50
+
+    def test_standing_queue_drops_after_interval(self, sim):
+        stats = QdiscStats()
+        q = CoDelQueue(sim, stats)
+        self.fill(q, 40)
+        # Drain slowly: the head's sojourn exceeds target immediately
+        # and stays there; drops begin one interval (100 ms) later.
+        drained = 0
+        while q and sim.now < 400 * MS:
+            sim.run(until=sim.now + 10 * MS)
+            if q:
+                q.popleft()
+                drained += 1
+        assert stats.drops > 0
+        assert stats.dequeued == drained
+        assert stats.drops + stats.dequeued == 40
+
+    def test_first_interval_grace_period(self, sim):
+        stats = QdiscStats()
+        q = CoDelQueue(sim, stats)
+        self.fill(q, 10)
+        sim.run(until=50 * MS)      # above target, within interval
+        q.popleft()
+        assert stats.drops == 0
+
+    def test_never_drops_the_last_packet(self, sim):
+        stats = QdiscStats()
+        q = CoDelQueue(sim, stats)
+        only = FakePayload()
+        q.append(only)
+        sim.run(until=2_000 * MS)   # ancient, but alone
+        assert q[0] is only
+        assert q.popleft() is only
+        assert stats.drops == 0
+
+    def test_drop_rate_accelerates(self, sim):
+        stats = QdiscStats()
+        q = CoDelQueue(sim, stats)
+        self.fill(q, 200)
+        while q and sim.now < 2_000 * MS:
+            sim.run(until=sim.now + 5 * MS)
+            if q:
+                q.popleft()
+        # The interval/sqrt(count) law: the dropping state escalated
+        # well past a one-per-interval rate.
+        assert q._count > 2
+        assert stats.drops > 5
+
+    def test_peek_pop_coherent_while_dropping(self, sim):
+        q = CoDelQueue(sim, QdiscStats())
+        self.fill(q, 40)
+        sim.run(until=150 * MS)     # deep in the dropping regime
+        head = q[0]
+        assert q.popleft() is head
+
+
+class TestFqCodelQueue:
+    def test_flows_isolated_by_drr(self, sim):
+        q = FqCodelQueue(sim, QdiscStats())
+        fat = [FlowPayload(1) for _ in range(10)]
+        mouse = FlowPayload(2)
+        for p in fat:
+            q.append(p)
+        q.append(mouse)
+        order = [q.popleft() for _ in range(11)]
+        # The mouse does not wait behind the whole fat backlog.
+        assert order.index(mouse) < 5
+        assert sorted(id(p) for p in order) == \
+            sorted(id(p) for p in fat + [mouse])
+
+    def test_payloads_without_flow_id_share_a_bucket(self, sim):
+        # Regression: UDP datagrams have no flow_id; the shared bucket
+        # key must be a real sentinel, not None (None collides with
+        # the scheduler's queue-empty result).
+        q = FqCodelQueue(sim, QdiscStats())
+        udp = [FakePayload() for _ in range(3)]
+        tcp = FlowPayload(7)
+        for p in udp:
+            q.append(p)
+        q.append(tcp)
+        drained = []
+        while q:
+            assert q[0] is not None     # peek stays coherent
+            drained.append(q.popleft())
+        assert len(drained) == 4
+        assert len(q) == 0 and not q
+
+    def test_len_tracks_across_flows(self, sim):
+        q = FqCodelQueue(sim, QdiscStats())
+        for i in range(6):
+            q.append(FlowPayload(i % 2))
+        assert len(q) == 6
+        for expected in range(5, -1, -1):
+            q.popleft()
+            assert len(q) == expected
+
+    def test_filter_out_spans_flows(self, sim):
+        q = FqCodelQueue(sim, QdiscStats())
+        drop = FlowPayload(1, byte_length=99)
+        keep_a, keep_b = FlowPayload(1), FlowPayload(2)
+        for p in (drop, keep_a, keep_b):
+            q.append(p)
+        removed = q.filter_out(lambda p: p.byte_length == 99)
+        assert removed == [drop]
+        assert len(q) == 2
+        assert {id(q.popleft()), id(q.popleft())} == \
+            {id(keep_a), id(keep_b)}
+
+    def test_iter_yields_all_queued(self, sim):
+        q = FqCodelQueue(sim, QdiscStats())
+        payloads = [FlowPayload(i) for i in range(4)]
+        for p in payloads:
+            q.append(p)
+        assert sorted(id(p) for p in q) == \
+            sorted(id(p) for p in payloads)
+
+    def test_codel_applies_per_flow(self, sim):
+        stats = QdiscStats()
+        q = FqCodelQueue(sim, stats)
+        for _ in range(40):
+            q.append(FlowPayload(1))
+        while q and sim.now < 400 * MS:
+            sim.run(until=sim.now + 10 * MS)
+            if q:
+                q.popleft()
+        assert stats.drops > 0
+
+    def test_pop_from_empty_raises(self, sim):
+        q = FqCodelQueue(sim, QdiscStats())
+        with pytest.raises(IndexError):
+            q.popleft()
+        with pytest.raises(IndexError):
+            q[0]
+
+
+class TestMakeQueue:
+    def test_dispatch(self, sim):
+        stats = QdiscStats()
+        assert type(make_queue(sim, MacParams(), stats)) \
+            is DropTailQueue
+        assert type(make_queue(
+            sim, MacParams(queue_discipline="codel"), stats)) \
+            is CoDelQueue
+        assert type(make_queue(
+            sim, MacParams(queue_discipline="fq_codel"), stats)) \
+            is FqCodelQueue
+
+    def test_unknown_discipline_rejected(self, sim):
+        with pytest.raises(ValueError, match="unknown queue"):
+            make_queue(sim, MacParams(queue_discipline="red"),
+                       QdiscStats())
+
+    def test_codel_knobs_forwarded(self, sim):
+        params = MacParams(queue_discipline="codel",
+                           codel_target_ns=2 * MS,
+                           codel_interval_ns=50 * MS)
+        q = make_queue(sim, params, QdiscStats())
+        assert q.target_ns == 2 * MS
+        assert q.interval_ns == 50 * MS
+
+
+class TestStatsAndMerge:
+    def drained_block(self, sim, discipline="droptail", n=5, gap=2 * MS):
+        stats = QdiscStats()
+        q = DropTailQueue(sim, stats)
+        for _ in range(n):
+            q.append(FakePayload())
+            sim.run(until=sim.now + gap)
+            q.popleft()
+        return stats.block(discipline)
+
+    def test_block_shape(self, sim):
+        block = self.drained_block(sim)
+        assert set(block) == {"discipline", "drops", "marks",
+                              "dequeued", "sojourn_bins",
+                              "sojourn_p50_ms", "sojourn_p99_ms"}
+        assert block["dequeued"] == 5
+        assert block["marks"] == 0
+        assert block["sojourn_p50_ms"] <= block["sojourn_p99_ms"]
+        assert all(isinstance(k, str) for k in block["sojourn_bins"])
+
+    def test_empty_block_has_none_percentiles(self):
+        block = QdiscStats().block("codel")
+        assert block["sojourn_p50_ms"] is None
+        assert block["sojourn_p99_ms"] is None
+
+    def test_merge_sums_and_recomputes(self, sim):
+        a = self.drained_block(sim, n=4, gap=1 * MS)
+        b = self.drained_block(sim, n=4, gap=20 * MS)
+        merged = merge_aqm_blocks([a, b])
+        assert merged["dequeued"] == 8
+        assert merged["drops"] == 0
+        # The merged p99 reflects the slow half, not block a's alone.
+        assert merged["sojourn_p99_ms"] > a["sojourn_p99_ms"]
+
+    def test_merge_is_associative(self, sim):
+        blocks = [self.drained_block(sim, n=3, gap=g)
+                  for g in (1 * MS, 5 * MS, 25 * MS)]
+        left = merge_aqm_blocks(
+            [merge_aqm_blocks(blocks[:2]), blocks[2]])
+        flat = merge_aqm_blocks(blocks)
+        assert left == flat
+
+    def test_merge_of_nothing_is_empty_droptail(self):
+        merged = merge_aqm_blocks([])
+        assert merged["discipline"] == "droptail"
+        assert merged["dequeued"] == 0
+        assert merged["sojourn_p99_ms"] is None

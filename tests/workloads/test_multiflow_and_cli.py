@@ -68,6 +68,27 @@ class TestCli:
             "--warmup", "0.5"])
         assert code == 0
 
+    def test_simulate_transport_flags(self, capsys):
+        code = cli_main([
+            "simulate", "--cc", "cubic", "--pacing", "--qdisc",
+            "codel", "--duration", "1", "--warmup", "0.5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "AQM (codel" in out
+
+    def test_simulate_default_hides_aqm_line(self, capsys):
+        cli_main(["simulate", "--duration", "1", "--warmup", "0.5"])
+        out = capsys.readouterr().out
+        assert "AQM (" not in out       # drop-tail, zero AQM drops
+
+    def test_scenario_transport_overrides_only_when_set(self, capsys):
+        # churn-cubic-codel keeps its registered cc/qdisc under the
+        # default flags, and --qdisc overrides it when given.
+        code = cli_main(["simulate", "--scenario", "churn-cubic-codel",
+                         "--qdisc", "fq_codel"])
+        assert code == 0
+        assert "AQM (fq_codel" in capsys.readouterr().out
+
     def test_experiments_forwarding(self, capsys):
         assert cli_main(["experiments", "fig01"]) == 0
         assert "Figure 1a" in capsys.readouterr().out
